@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+(Sec. VI).  The default scales are reduced so the whole harness finishes on a
+laptop in minutes; each benchmark module exposes FULL_* constants that restore
+the paper-scale workloads and repetition counts.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the regenerated rows/series next to the paper's values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(name): the table/figure a benchmark reproduces"
+    )
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collect printed experiment tables so they also appear in one summary."""
+    lines: list[str] = []
+    yield lines
+    if lines:
+        print("\n" + "\n".join(lines))

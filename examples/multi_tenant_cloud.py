@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Multi-tenant quantum cloud: a batch of tenants sharing 20 QPUs (Figs. 14-17).
+
+Samples a batch of circuits from one of the paper's workload mixes, runs it
+through the full CloudQC pipeline (batch manager -> placement -> network
+scheduling) and through the CloudQC-BFS and CloudQC-FIFO baselines, and prints
+per-job completion times plus a CDF summary.
+
+Run with::
+
+    python examples/multi_tenant_cloud.py [workload] [batch_size]
+
+where workload is one of mixed, qft, qugan, arithmetic (default qugan).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import default_cloud, format_cdf_summary
+from repro.multitenant import (
+    CompletionStats,
+    MultiTenantSimulator,
+    fifo_batch_manager,
+    generate_batch,
+    priority_batch_manager,
+)
+from repro.placement import CloudQCBFSPlacement, CloudQCPlacement
+from repro.scheduling import CloudQCScheduler
+
+
+def main(workload: str, batch_size: int) -> None:
+    cloud = default_cloud(seed=7)
+    batch = generate_batch(workload, batch_size=batch_size, seed=1)
+    print(f"Workload: {workload}, batch of {batch_size} circuits")
+    print("  " + ", ".join(circuit.name for circuit in batch))
+
+    methods = {
+        "CloudQC": (CloudQCPlacement(), priority_batch_manager()),
+        "CloudQC-BFS": (CloudQCBFSPlacement(), priority_batch_manager()),
+        "CloudQC-FIFO": (CloudQCPlacement(), fifo_batch_manager()),
+    }
+
+    distribution = {}
+    for label, (placer, manager) in methods.items():
+        simulator = MultiTenantSimulator(
+            cloud,
+            placement_algorithm=placer,
+            network_scheduler=CloudQCScheduler(),
+            batch_manager=manager,
+        )
+        results = simulator.run_batch(batch, seed=2)
+        times = [result.job_completion_time for result in results]
+        distribution[label] = times
+        stats = CompletionStats.from_times(times)
+        print(f"\n{label}:")
+        print(f"  mean JCT   : {stats.mean:.0f} CX units")
+        print(f"  median JCT : {stats.median:.0f}")
+        print(f"  p90 JCT    : {stats.p90:.0f}")
+        print(f"  batch makespan: {stats.maximum:.0f}")
+        slowest = max(results, key=lambda r: r.job_completion_time)
+        print(
+            f"  slowest job: {slowest.circuit_name} "
+            f"(queued {slowest.queueing_delay:.0f}, "
+            f"{slowest.num_remote_operations} remote gates on "
+            f"{slowest.num_qpus_used} QPUs)"
+        )
+
+    print("\nJCT distribution summary (the CDFs of Figs. 14-17):")
+    print(format_cdf_summary(distribution))
+
+
+if __name__ == "__main__":
+    workload_argument = sys.argv[1] if len(sys.argv) > 1 else "qugan"
+    batch_size_argument = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    main(workload_argument, batch_size_argument)

@@ -1,0 +1,5 @@
+"""Setuptools shim so editable installs work on minimal offline environments."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,113 @@
+"""ASCII plotting helpers for terminal-friendly figures.
+
+The paper's figures are line plots and CDFs.  These helpers render the same
+data as monospace text so the benchmark harness and examples can show the
+curve shapes without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..multitenant.metrics import completion_cdf
+
+#: Symbols cycled through for successive series in one plot.
+SERIES_MARKERS = "ox+*#@%&"
+
+
+def ascii_line_plot(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[float],
+    width: int = 60,
+    height: int = 15,
+    title: str = "",
+) -> str:
+    """Render one or more y-series over shared x-values as an ASCII plot."""
+    if not series:
+        return title
+    finite = [
+        value
+        for values in series.values()
+        for value in values
+        if value == value  # filters NaN
+    ]
+    if not finite:
+        return title
+    y_min, y_max = min(finite), max(finite)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(series.items()):
+        marker = SERIES_MARKERS[index % len(SERIES_MARKERS)]
+        for x, y in zip(x_values, values):
+            if y != y:
+                continue
+            column = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y_min:.4g} .. {y_max:.4g}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_min:.4g} .. {x_max:.4g}")
+    legend = "  ".join(
+        f"{SERIES_MARKERS[i % len(SERIES_MARKERS)]}={label}"
+        for i, label in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def ascii_cdf_plot(
+    distribution: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 15,
+    title: str = "",
+) -> str:
+    """Render empirical completion-time CDFs (the Figs. 14-17 style plot)."""
+    series: Dict[str, Tuple[List[float], List[float]]] = {}
+    for label, times in distribution.items():
+        points = completion_cdf(list(times))
+        if points:
+            xs, ys = zip(*points)
+            series[label] = (list(xs), list(ys))
+    if not series:
+        return title
+    x_max = max(max(xs) for xs, _ in series.values())
+    x_min = min(min(xs) for xs, _ in series.values())
+    # Resample every CDF onto a common x grid so curves share the canvas.
+    grid_x = list(np.linspace(x_min, x_max, width))
+    resampled: Dict[str, List[float]] = {}
+    for label, (xs, ys) in series.items():
+        values = []
+        for x in grid_x:
+            below = [y for px, y in zip(xs, ys) if px <= x]
+            values.append(below[-1] if below else 0.0)
+        resampled[label] = values
+    return ascii_line_plot(resampled, grid_x, width=width, height=height, title=title)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A one-line bar sparkline of a numeric series (resampled to ``width``)."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    cleaned = [v for v in values if v == v]
+    if not cleaned:
+        return ""
+    low, high = min(cleaned), max(cleaned)
+    span = high - low or 1.0
+    if len(cleaned) > width:
+        indices = np.linspace(0, len(cleaned) - 1, width).astype(int)
+        cleaned = [cleaned[i] for i in indices]
+    return "".join(
+        blocks[int((value - low) / span * (len(blocks) - 1))] for value in cleaned
+    )

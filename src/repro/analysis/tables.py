@@ -1,0 +1,65 @@
+"""Plain-text table and series formatting for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+    row_header: str = "circuit",
+    precision: int = 1,
+) -> str:
+    """Render nested ``row -> column -> value`` dicts as an aligned text table."""
+    header = [row_header] + list(columns)
+    lines: List[List[str]] = [header]
+    for row_name, row in rows.items():
+        cells = [row_name]
+        for column in columns:
+            value = row.get(column, float("nan"))
+            cells.append(f"{value:.{precision}f}")
+        lines.append(cells)
+    widths = [max(len(line[i]) for line in lines) for i in range(len(header))]
+    rendered = []
+    for index, line in enumerate(lines):
+        rendered.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+        if index == 0:
+            rendered.append("  ".join("-" * widths[i] for i in range(len(header))))
+    return "\n".join(rendered)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[float],
+    x_label: str = "x",
+    precision: int = 1,
+) -> str:
+    """Render per-method series over a swept parameter as an aligned table."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for index, x in enumerate(x_values):
+        row: Dict[str, float] = {}
+        for label, values in series.items():
+            row[label] = values[index] if index < len(values) else float("nan")
+        rows[f"{x_label}={x}"] = row
+    return format_table(rows, list(series.keys()), row_header=x_label, precision=precision)
+
+
+def format_cdf_summary(
+    distribution: Mapping[str, Sequence[float]],
+    percentiles: Sequence[float] = (50, 80, 90, 99),
+) -> str:
+    """Summarise per-method completion-time distributions at a few percentiles."""
+    import numpy as np
+
+    rows: Dict[str, Dict[str, float]] = {}
+    for label, times in distribution.items():
+        row: Dict[str, float] = {}
+        for percentile in percentiles:
+            row[f"p{int(percentile)}"] = (
+                float(np.percentile(list(times), percentile)) if times else float("nan")
+            )
+        row["mean"] = float(np.mean(list(times))) if times else float("nan")
+        rows[label] = row
+    columns = [f"p{int(p)}" for p in percentiles] + ["mean"]
+    return format_table(rows, columns, row_header="method")

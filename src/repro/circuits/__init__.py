@@ -1,0 +1,30 @@
+"""Circuit substrate: gates, circuits, dependency DAGs, interaction graphs, QASM."""
+
+from .gate import Gate, GateKind, classify_gate, two_qubit_pairs
+from .circuit import QuantumCircuit
+from .dag import CircuitDAG, DagNode
+from .interaction_graph import InteractionGraph
+from .qasm import QasmError, load_qasm_file, parse_qasm, to_qasm
+from .characteristics import (
+    PAPER_CHARACTERISTICS,
+    CircuitCharacteristics,
+    characterize,
+)
+
+__all__ = [
+    "CircuitDAG",
+    "CircuitCharacteristics",
+    "DagNode",
+    "Gate",
+    "GateKind",
+    "InteractionGraph",
+    "PAPER_CHARACTERISTICS",
+    "QasmError",
+    "QuantumCircuit",
+    "characterize",
+    "classify_gate",
+    "load_qasm_file",
+    "parse_qasm",
+    "to_qasm",
+    "two_qubit_pairs",
+]

@@ -1,0 +1,182 @@
+"""Gate-dependency DAG and front-layer iteration.
+
+CloudQC's preprocessing step builds a directed acyclic graph whose nodes are
+gates and whose edges express the "must execute after" relation induced by
+shared qubits (Sec. V-B, *Preprocessing*).  The *front layer* is the set of
+gates with no unexecuted predecessor; it drives both the latency estimator used
+during placement scoring and the network scheduler's execution loop.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .circuit import QuantumCircuit
+from .gate import Gate
+
+
+@dataclass
+class DagNode:
+    """A node of the circuit dependency DAG: one gate plus its topology links."""
+
+    index: int
+    gate: Gate
+    predecessors: Set[int] = field(default_factory=set)
+    successors: Set[int] = field(default_factory=set)
+
+    @property
+    def in_degree(self) -> int:
+        return len(self.predecessors)
+
+    @property
+    def out_degree(self) -> int:
+        return len(self.successors)
+
+
+class CircuitDAG:
+    """Dependency DAG of a circuit.
+
+    Node identifiers are the gate indices in the original circuit, so a DAG
+    node can always be traced back to its gate.
+    """
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self.circuit = circuit
+        self.nodes: Dict[int, DagNode] = {}
+        self._build()
+
+    def _build(self) -> None:
+        last_on_qubit: Dict[int, int] = {}
+        for index, gate in enumerate(self.circuit.gates):
+            node = DagNode(index=index, gate=gate)
+            self.nodes[index] = node
+            for qubit in gate.qubits:
+                previous = last_on_qubit.get(qubit)
+                if previous is not None and previous != index:
+                    node.predecessors.add(previous)
+                    self.nodes[previous].successors.add(index)
+                last_on_qubit[qubit] = index
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[DagNode]:
+        return iter(self.nodes.values())
+
+    def gate(self, index: int) -> Gate:
+        return self.nodes[index].gate
+
+    def predecessors(self, index: int) -> Set[int]:
+        return set(self.nodes[index].predecessors)
+
+    def successors(self, index: int) -> Set[int]:
+        return set(self.nodes[index].successors)
+
+    def front_layer(self, executed: Iterable[int] = ()) -> List[int]:
+        """Gates whose predecessors have all executed (Fig. 1's "front layer")."""
+        done = set(executed)
+        layer = []
+        for index, node in self.nodes.items():
+            if index in done:
+                continue
+            if node.predecessors <= done:
+                layer.append(index)
+        return sorted(layer)
+
+    def topological_order(self) -> List[int]:
+        """Kahn topological sort; ties broken by gate index for determinism."""
+        in_degree = {i: node.in_degree for i, node in self.nodes.items()}
+        ready = deque(sorted(i for i, d in in_degree.items() if d == 0))
+        order: List[int] = []
+        while ready:
+            current = ready.popleft()
+            order.append(current)
+            for succ in sorted(self.nodes[current].successors):
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.nodes):
+            raise RuntimeError("dependency graph contains a cycle")
+        return order
+
+    def layers(self) -> List[List[int]]:
+        """As-soon-as-possible layering of the DAG (lists of gate indices)."""
+        level: Dict[int, int] = {}
+        for index in self.topological_order():
+            preds = self.nodes[index].predecessors
+            level[index] = 1 + max((level[p] for p in preds), default=-1)
+        grouped: Dict[int, List[int]] = defaultdict(list)
+        for index, lvl in level.items():
+            grouped[lvl].append(index)
+        return [sorted(grouped[lvl]) for lvl in sorted(grouped)]
+
+    def longest_path_length(self) -> int:
+        """Number of nodes on the longest dependency chain (circuit depth)."""
+        return len(self.layers())
+
+    def critical_path(self) -> List[int]:
+        """One longest dependency chain, as an ordered list of gate indices."""
+        best_len: Dict[int, int] = {}
+        best_next: Dict[int, int] = {}
+        for index in reversed(self.topological_order()):
+            succs = self.nodes[index].successors
+            if not succs:
+                best_len[index] = 1
+                continue
+            follow = max(succs, key=lambda s: (best_len[s], -s))
+            best_len[index] = 1 + best_len[follow]
+            best_next[index] = follow
+        if not best_len:
+            return []
+        start = max(best_len, key=lambda i: (best_len[i], -i))
+        path = [start]
+        while path[-1] in best_next:
+            path.append(best_next[path[-1]])
+        return path
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.DiGraph:
+        graph = nx.DiGraph()
+        for index, node in self.nodes.items():
+            graph.add_node(index, gate=node.gate)
+        for index, node in self.nodes.items():
+            for succ in node.successors:
+                graph.add_edge(index, succ)
+        return graph
+
+    def two_qubit_nodes(self) -> List[int]:
+        return [i for i, n in self.nodes.items() if n.gate.is_two_qubit]
+
+    def subgraph_closure(
+        self, keep: Sequence[int]
+    ) -> Dict[int, Set[int]]:
+        """Transitive dependencies restricted to ``keep``.
+
+        Returns a mapping ``node -> set of kept predecessors`` where a kept
+        predecessor is any node in ``keep`` reachable backwards through nodes
+        *not* in ``keep``.  This is how the remote DAG inherits ordering from
+        the full gate DAG even though local gates are dropped.
+        """
+        keep_set = set(keep)
+        closure: Dict[int, Set[int]] = {}
+        # reaching[i] = set of kept ancestors visible at node i's output.
+        reaching: Dict[int, Set[int]] = {}
+        for index in self.topological_order():
+            incoming: Set[int] = set()
+            for pred in self.nodes[index].predecessors:
+                incoming |= reaching[pred]
+            if index in keep_set:
+                closure[index] = incoming
+                reaching[index] = {index}
+            else:
+                reaching[index] = incoming
+        return closure

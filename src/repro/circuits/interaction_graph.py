@@ -1,0 +1,126 @@
+"""Weighted qubit-interaction graph.
+
+The interaction graph is the input of CloudQC's graph-partitioning step:
+vertices are logical qubits and an edge of weight ``w`` joins two qubits that
+share ``w`` two-qubit gates (the paper's D_ij matrix).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from .circuit import QuantumCircuit
+
+
+class InteractionGraph:
+    """Undirected weighted graph of two-qubit interactions in a circuit."""
+
+    def __init__(self, num_qubits: int) -> None:
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(num_qubits))
+
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit) -> "InteractionGraph":
+        instance = cls(circuit.num_qubits)
+        for (a, b), weight in circuit.two_qubit_interactions().items():
+            instance.graph.add_edge(a, b, weight=weight)
+        return instance
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def weight(self, a: int, b: int) -> int:
+        """Number of two-qubit gates between qubits ``a`` and ``b`` (0 if none)."""
+        data = self.graph.get_edge_data(a, b)
+        return int(data["weight"]) if data else 0
+
+    def total_weight(self) -> int:
+        """Total number of two-qubit gates represented by the graph."""
+        return int(sum(d["weight"] for _, _, d in self.graph.edges(data=True)))
+
+    def degree_weight(self, qubit: int) -> int:
+        """Sum of interaction weights incident to ``qubit``."""
+        return int(
+            sum(d["weight"] for _, _, d in self.graph.edges(qubit, data=True))
+        )
+
+    def neighbors(self, qubit: int) -> List[int]:
+        return sorted(self.graph.neighbors(qubit))
+
+    def edges(self) -> Iterable[Tuple[int, int, int]]:
+        for a, b, data in self.graph.edges(data=True):
+            yield a, b, int(data["weight"])
+
+    def adjacency(self) -> Dict[int, Dict[int, int]]:
+        return {
+            node: {nbr: int(d["weight"]) for nbr, d in nbrs.items()}
+            for node, nbrs in self.graph.adjacency()
+        }
+
+    def cut_weight(self, assignment: Dict[int, int]) -> int:
+        """Total weight of edges whose endpoints land in different parts.
+
+        ``assignment`` maps every qubit to a part label; missing qubits are
+        treated as isolated (they never contribute to the cut).
+        """
+        cut = 0
+        for a, b, weight in self.edges():
+            if a in assignment and b in assignment and assignment[a] != assignment[b]:
+                cut += weight
+        return cut
+
+    def graph_center(self) -> int:
+        """Vertex minimising the longest hop distance to every other vertex.
+
+        Works per connected component (the largest one); isolated qubits are
+        ignored.  Used by Algorithm 2 to anchor the partition-to-QPU mapping.
+        """
+        if self.graph.number_of_nodes() == 0:
+            raise ValueError("empty interaction graph has no center")
+        components = list(nx.connected_components(self.graph))
+        largest = max(components, key=len)
+        if len(largest) == 1:
+            return min(largest)
+        subgraph = self.graph.subgraph(largest)
+        eccentricity = nx.eccentricity(subgraph)
+        return min(eccentricity, key=lambda node: (eccentricity[node], node))
+
+    def subgraph(self, qubits: Iterable[int]) -> "InteractionGraph":
+        chosen = set(qubits)
+        instance = InteractionGraph(self.num_qubits)
+        instance.graph = self.graph.subgraph(chosen).copy()
+        return instance
+
+    def quotient_graph(self, assignment: Dict[int, int]) -> nx.Graph:
+        """Collapse qubits into their parts; edge weights aggregate cut weights.
+
+        The result is the "remote partition interaction graph" G_p used when
+        mapping partitions onto QPUs: nodes are part labels and an edge weight
+        counts the two-qubit gates crossing that pair of parts.
+        """
+        quotient = nx.Graph()
+        quotient.add_nodes_from(sorted(set(assignment.values())))
+        for a, b, weight in self.edges():
+            if a not in assignment or b not in assignment:
+                continue
+            pa, pb = assignment[a], assignment[b]
+            if pa == pb:
+                continue
+            if quotient.has_edge(pa, pb):
+                quotient[pa][pb]["weight"] += weight
+            else:
+                quotient.add_edge(pa, pb, weight=weight)
+        return quotient
+
+    def to_networkx(self) -> nx.Graph:
+        return self.graph.copy()

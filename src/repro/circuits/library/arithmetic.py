@@ -1,0 +1,178 @@
+"""Arithmetic benchmark circuits: ripple-carry adder, multiplier, counterfeit coin.
+
+The adder follows the Cuccaro ripple-carry (MAJ/UMA) construction used by
+QASMBench's ``adder_nXX``; the multiplier is the controlled shift-and-add
+construction behind ``multiplier_nXX``; ``cc_nXX`` is the counterfeit-coin
+search circuit whose two-qubit gates all funnel into a single ancilla.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuit import QuantumCircuit
+
+
+def _maj(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    """Cuccaro MAJ block (3 two-qubit gates counting the Toffoli as decomposed)."""
+    circuit.cx(a, b)
+    circuit.cx(a, c)
+    _toffoli(circuit, c, b, a)
+
+
+def _uma(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    """Cuccaro UMA block."""
+    _toffoli(circuit, c, b, a)
+    circuit.cx(a, c)
+    circuit.cx(c, b)
+
+
+def _toffoli(circuit: QuantumCircuit, a: int, b: int, target: int) -> None:
+    """6-CX Toffoli decomposition (shared with the swap-test family)."""
+    circuit.h(target)
+    circuit.cx(b, target)
+    circuit.tdg(target)
+    circuit.cx(a, target)
+    circuit.t(target)
+    circuit.cx(b, target)
+    circuit.tdg(target)
+    circuit.cx(a, target)
+    circuit.t(b)
+    circuit.t(target)
+    circuit.h(target)
+    circuit.cx(a, b)
+    circuit.t(a)
+    circuit.tdg(b)
+    circuit.cx(a, b)
+
+
+def ripple_carry_adder(num_qubits: int, measure: bool = False) -> QuantumCircuit:
+    """Cuccaro ripple-carry adder on ``num_qubits`` qubits.
+
+    The register layout is ``[carry_in, a_0, b_0, a_1, b_1, ..., carry_out]``
+    so ``num_qubits`` must be even and at least 4; the operand width is
+    ``(num_qubits - 2) // 2`` bits.  adder_n64 and adder_n118 in Table II
+    correspond to 31- and 58-bit operands.
+    """
+    if num_qubits < 4 or num_qubits % 2 != 0:
+        raise ValueError("adder needs an even qubit count of at least 4")
+    bits = (num_qubits - 2) // 2
+    circuit = QuantumCircuit(num_qubits, name=f"adder_n{num_qubits}")
+    carry_in = 0
+    carry_out = num_qubits - 1
+    a_qubits = [1 + 2 * i for i in range(bits)]
+    b_qubits = [2 + 2 * i for i in range(bits)]
+
+    # Load non-trivial operands so the circuit is not the identity.
+    for i, qubit in enumerate(a_qubits):
+        if i % 2 == 0:
+            circuit.x(qubit)
+    for i, qubit in enumerate(b_qubits):
+        if i % 3 == 0:
+            circuit.x(qubit)
+
+    _maj(circuit, carry_in, b_qubits[0], a_qubits[0])
+    for i in range(1, bits):
+        _maj(circuit, a_qubits[i - 1], b_qubits[i], a_qubits[i])
+    circuit.cx(a_qubits[-1], carry_out)
+    for i in range(bits - 1, 0, -1):
+        _uma(circuit, a_qubits[i - 1], b_qubits[i], a_qubits[i])
+    _uma(circuit, carry_in, b_qubits[0], a_qubits[0])
+
+    if measure:
+        for qubit in b_qubits + [carry_out]:
+            circuit.measure(qubit)
+    return circuit
+
+
+def multiplier(num_qubits: int, measure: bool = False) -> QuantumCircuit:
+    """Shift-and-add quantum multiplier (QASMBench ``multiplier_nXX``).
+
+    The register holds two ``w``-bit operands and a ``2w``-bit product plus a
+    carry ancilla, so ``num_qubits = 4 * w + 1`` (w = 11 for multiplier_n45,
+    w = 18 for multiplier_n75 — the next integer layouts below the paper's
+    sizes; any remaining qubits are idle padding).  For every set bit position
+    of the first operand a controlled ripple-carry add of the (shifted) second
+    operand is applied to the product register, which reproduces the very high
+    two-qubit-gate density and depth of the paper's multiplier workloads.
+    """
+    if num_qubits < 9:
+        raise ValueError("multiplier needs at least 9 qubits")
+    width = (num_qubits - 1) // 4
+    circuit = QuantumCircuit(num_qubits, name=f"multiplier_n{num_qubits}")
+    a_qubits = list(range(0, width))
+    b_qubits = list(range(width, 2 * width))
+    product = list(range(2 * width, 4 * width))
+    carry = 4 * width
+
+    # Operand initialisation.
+    for i, qubit in enumerate(a_qubits):
+        if i % 2 == 0:
+            circuit.x(qubit)
+    for i, qubit in enumerate(b_qubits):
+        if i % 3 != 2:
+            circuit.x(qubit)
+
+    # For each bit a_i, controlled-add b (shifted by i) into the product.
+    for shift, control in enumerate(a_qubits):
+        _controlled_add(circuit, control, b_qubits, product[shift:shift + width + 1], carry)
+
+    if measure:
+        for qubit in product:
+            circuit.measure(qubit)
+    return circuit
+
+
+def _controlled_add(
+    circuit: QuantumCircuit,
+    control: int,
+    addend: List[int],
+    target: List[int],
+    carry: int,
+) -> None:
+    """Controlled ripple-carry addition of ``addend`` into ``target``.
+
+    Uses the carry ancilla serially per bit: a Toffoli computes the carry and
+    doubly-controlled additions accumulate into the target, giving the serial
+    dependency chain (and hence large depth) typical of the benchmark.
+    """
+    width = min(len(addend), max(len(target) - 1, 0))
+    for i in range(width):
+        # carry propagation
+        _toffoli(circuit, control, addend[i], carry)
+        _toffoli(circuit, carry, target[i], target[i + 1])
+        _toffoli(circuit, control, addend[i], carry)
+        # sum bit
+        _toffoli(circuit, control, addend[i], target[i])
+
+
+def counterfeit_coin(num_qubits: int, measure: bool = False) -> QuantumCircuit:
+    """Counterfeit-coin finding circuit (QASMBench ``cc_nXX``).
+
+    ``num_qubits - 1`` coin qubits plus one ancilla.  Every coin interacts with
+    the ancilla through one CX in the balance oracle, so the circuit has
+    exactly ``num_qubits`` two-qubit gates concentrated on the ancilla and a
+    long serial depth — matching cc_n64 (64 two-qubit gates, depth ~195).
+    """
+    if num_qubits < 3:
+        raise ValueError("counterfeit coin needs at least three qubits")
+    coins = num_qubits - 1
+    ancilla = num_qubits - 1
+    circuit = QuantumCircuit(num_qubits, name=f"cc_n{num_qubits}")
+    for qubit in range(coins):
+        circuit.h(qubit)
+    # Balance query: every coin flips the ancilla.
+    for qubit in range(coins):
+        circuit.cx(qubit, ancilla)
+        circuit.t(ancilla)
+        circuit.h(ancilla)
+    circuit.measure(ancilla)
+    # Conditional second query (modelled unconditionally for structure).
+    circuit.h(ancilla)
+    for qubit in range(coins):
+        circuit.h(qubit)
+    circuit.cx(0, ancilla)
+    if measure:
+        for qubit in range(coins):
+            circuit.measure(qubit)
+    return circuit

@@ -1,0 +1,129 @@
+"""Swap-test-derived benchmark circuits: swap test, quantum KNN, QuGAN.
+
+All three QASMBench families are built around controlled-SWAP (Fredkin)
+comparisons between two data registers, controlled by an ancilla.  The Fredkin
+gate is decomposed into CX and Toffoli, and the Toffoli into the standard
+6-CX + T-gate network, so every generator below emits 8 two-qubit gates per
+controlled swap — giving the 456 / 264 / 512 counts of Table II.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..circuit import QuantumCircuit
+
+
+def _toffoli(circuit: QuantumCircuit, a: int, b: int, target: int) -> None:
+    """Standard 6-CX decomposition of the Toffoli gate."""
+    circuit.h(target)
+    circuit.cx(b, target)
+    circuit.tdg(target)
+    circuit.cx(a, target)
+    circuit.t(target)
+    circuit.cx(b, target)
+    circuit.tdg(target)
+    circuit.cx(a, target)
+    circuit.t(b)
+    circuit.t(target)
+    circuit.h(target)
+    circuit.cx(a, b)
+    circuit.t(a)
+    circuit.tdg(b)
+    circuit.cx(a, b)
+
+
+def _controlled_swap(circuit: QuantumCircuit, control: int, a: int, b: int) -> None:
+    """Fredkin gate: CX + Toffoli + CX (8 two-qubit gates after decomposition)."""
+    circuit.cx(b, a)
+    _toffoli(circuit, control, a, b)
+    circuit.cx(b, a)
+
+
+def swap_test(num_qubits: int, measure: bool = False) -> QuantumCircuit:
+    """Swap-test circuit comparing two ``(num_qubits - 1) / 2``-qubit registers.
+
+    Qubit 0 is the ancilla; qubits ``1..m`` and ``m+1..2m`` are the two data
+    registers.  Each register pair is compared with one controlled swap,
+    yielding ``8 * m`` two-qubit gates (456 for swap_test_n115, m = 57).
+    """
+    if num_qubits < 3 or num_qubits % 2 == 0:
+        raise ValueError("swap test needs an odd qubit count of at least 3")
+    register_size = (num_qubits - 1) // 2
+    circuit = QuantumCircuit(num_qubits, name=f"swap_test_n{num_qubits}")
+    ancilla = 0
+    # Simple data preparation so the registers are non-trivial.
+    for i in range(register_size):
+        circuit.ry(math.pi / 4.0, 1 + i)
+        circuit.ry(math.pi / 3.0, 1 + register_size + i)
+    circuit.h(ancilla)
+    for i in range(register_size):
+        _controlled_swap(circuit, ancilla, 1 + i, 1 + register_size + i)
+    circuit.h(ancilla)
+    if measure:
+        circuit.measure(ancilla)
+    return circuit
+
+
+def quantum_knn(num_qubits: int, measure: bool = False) -> QuantumCircuit:
+    """Quantum k-nearest-neighbour kernel circuit (QASMBench ``knn_nXX``).
+
+    Structurally a swap test between a query register and a training register:
+    amplitude-encoding rotations followed by per-pair controlled swaps.  With
+    ``m = (num_qubits - 1) // 2`` pairs this gives ``8 * m`` two-qubit gates
+    (264 for knn_n67, 512 for knn_n129).
+    """
+    if num_qubits < 3 or num_qubits % 2 == 0:
+        raise ValueError("knn needs an odd qubit count of at least 3")
+    register_size = (num_qubits - 1) // 2
+    circuit = QuantumCircuit(num_qubits, name=f"knn_n{num_qubits}")
+    ancilla = 0
+    for i in range(register_size):
+        # Feature encoding on both registers.
+        circuit.ry(math.pi / 8.0 * ((i % 7) + 1), 1 + i)
+        circuit.rz(math.pi / 16.0 * ((i % 5) + 1), 1 + i)
+        circuit.ry(math.pi / 8.0 * ((i % 3) + 1), 1 + register_size + i)
+        circuit.rz(math.pi / 16.0 * ((i % 9) + 1), 1 + register_size + i)
+    circuit.h(ancilla)
+    for i in range(register_size):
+        _controlled_swap(circuit, ancilla, 1 + i, 1 + register_size + i)
+    circuit.h(ancilla)
+    if measure:
+        circuit.measure(ancilla)
+    return circuit
+
+
+def qugan(
+    num_qubits: int, layers: Optional[int] = None, measure: bool = False
+) -> QuantumCircuit:
+    """Quantum GAN benchmark (QASMBench ``qugan_nXX``).
+
+    The generator and discriminator are hardware-efficient ansatz on the two
+    halves of the register (RY rotations plus CX ladders), and the final
+    fidelity comparison is a swap test over register pairs.  For qugan_n71 /
+    qugan_n111 the default layer count produces a two-qubit gate count within a
+    few percent of Table II (418 and 658).
+    """
+    if num_qubits < 3 or num_qubits % 2 == 0:
+        raise ValueError("qugan needs an odd qubit count of at least 3")
+    register_size = (num_qubits - 1) // 2
+    if layers is None:
+        layers = 2
+    circuit = QuantumCircuit(num_qubits, name=f"qugan_n{num_qubits}")
+    ancilla = 0
+    generator = list(range(1, 1 + register_size))
+    discriminator = list(range(1 + register_size, 1 + 2 * register_size))
+    for register in (generator, discriminator):
+        for layer in range(layers):
+            for qubit in register:
+                circuit.ry(math.pi / (layer + 2.0), qubit)
+            for a, b in zip(register, register[1:]):
+                circuit.cx(a, b)
+    circuit.h(ancilla)
+    for a, b in zip(generator, discriminator):
+        _controlled_swap(circuit, ancilla, a, b)
+    circuit.h(ancilla)
+    if measure:
+        circuit.measure(ancilla)
+    return circuit

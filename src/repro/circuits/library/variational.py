@@ -1,0 +1,94 @@
+"""Additional variational workloads: QAOA and a hardware-efficient ansatz.
+
+These are not part of the paper's Table II but are common quantum-cloud
+workloads (the paper's introduction motivates variational algorithms); they
+extend the workload library for users building their own multi-tenant mixes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit import QuantumCircuit
+
+
+def qaoa(
+    num_qubits: int,
+    layers: int = 2,
+    edge_probability: float = 0.5,
+    seed: int = 17,
+    measure: bool = False,
+) -> QuantumCircuit:
+    """QAOA ansatz for MaxCut on a random Erdos-Renyi graph.
+
+    Each layer applies an RZZ phase separator per problem-graph edge followed
+    by an RX mixer on every qubit.  The interaction graph therefore mirrors the
+    random problem graph, giving a qualitatively different placement workload
+    from the structured Table II circuits.
+    """
+    if num_qubits < 2:
+        raise ValueError("QAOA needs at least two qubits")
+    if layers < 1:
+        raise ValueError("QAOA needs at least one layer")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge probability must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    edges: list[Tuple[int, int]] = [
+        (a, b)
+        for a in range(num_qubits)
+        for b in range(a + 1, num_qubits)
+        if rng.random() < edge_probability
+    ]
+    if not edges:
+        edges = [(a, a + 1) for a in range(num_qubits - 1)]
+    circuit = QuantumCircuit(num_qubits, name=f"qaoa_n{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for layer in range(layers):
+        gamma = float(rng.uniform(0, math.pi))
+        beta = float(rng.uniform(0, math.pi))
+        for a, b in edges:
+            circuit.rzz(2.0 * gamma, a, b)
+        for qubit in range(num_qubits):
+            circuit.rx(2.0 * beta, qubit)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int,
+    layers: int = 3,
+    entangler: str = "linear",
+    seed: int = 23,
+    measure: bool = False,
+) -> QuantumCircuit:
+    """Hardware-efficient ansatz: RY/RZ rotation layers with CX entanglers.
+
+    ``entangler`` is ``"linear"`` (nearest-neighbour chain) or ``"circular"``
+    (chain plus a wrap-around CX).
+    """
+    if num_qubits < 2:
+        raise ValueError("the ansatz needs at least two qubits")
+    if layers < 1:
+        raise ValueError("the ansatz needs at least one layer")
+    if entangler not in ("linear", "circular"):
+        raise ValueError("entangler must be 'linear' or 'circular'")
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"hea_n{num_qubits}")
+    for _ in range(layers):
+        for qubit in range(num_qubits):
+            circuit.ry(float(rng.uniform(0, math.pi)), qubit)
+            circuit.rz(float(rng.uniform(0, 2 * math.pi)), qubit)
+        for qubit in range(num_qubits - 1):
+            circuit.cx(qubit, qubit + 1)
+        if entangler == "circular":
+            circuit.cx(num_qubits - 1, 0)
+    for qubit in range(num_qubits):
+        circuit.ry(float(rng.uniform(0, math.pi)), qubit)
+    if measure:
+        circuit.measure_all()
+    return circuit

@@ -1,0 +1,225 @@
+"""The quantum cloud: a set of QPUs bound to a network topology.
+
+``QuantumCloud`` is the resource-management substrate every other layer builds
+on.  It tracks per-QPU computing/communication qubit usage, answers the
+"cloud status" queries the controller and placement algorithms need (Fig. 4),
+and exposes the weighted QPU graph that community detection runs on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from .qpu import QPU, ResourceError
+from .topology import CloudTopology
+
+
+class PlacementError(RuntimeError):
+    """Raised when a qubit-to-QPU mapping cannot be admitted by the cloud."""
+
+
+class QuantumCloud:
+    """A multi-tenant cluster of QPUs connected by quantum links."""
+
+    def __init__(
+        self,
+        topology: CloudTopology,
+        computing_qubits_per_qpu: int = 20,
+        communication_qubits_per_qpu: int = 5,
+        epr_success_probability: float = 0.3,
+        qpus: Optional[Mapping[int, QPU]] = None,
+    ) -> None:
+        if not 0.0 < epr_success_probability <= 1.0:
+            raise ValueError("EPR success probability must lie in (0, 1]")
+        self.topology = topology
+        self.epr_success_probability = float(epr_success_probability)
+        if qpus is not None:
+            missing = set(topology.qpu_ids) - set(qpus)
+            if missing:
+                raise ValueError(f"missing QPU objects for topology nodes {missing}")
+            self.qpus: Dict[int, QPU] = {qpu_id: qpus[qpu_id] for qpu_id in topology.qpu_ids}
+        else:
+            self.qpus = {
+                qpu_id: QPU(
+                    qpu_id=qpu_id,
+                    computing_capacity=computing_qubits_per_qpu,
+                    communication_capacity=communication_qubits_per_qpu,
+                )
+                for qpu_id in topology.qpu_ids
+            }
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def default(
+        cls,
+        num_qpus: int = 20,
+        computing_qubits_per_qpu: int = 20,
+        communication_qubits_per_qpu: int = 5,
+        edge_probability: float = 0.3,
+        epr_success_probability: float = 0.3,
+        seed: Optional[int] = None,
+    ) -> "QuantumCloud":
+        """The paper's default cloud: 20 QPUs, 20/5 qubits, random p=0.3 topology."""
+        topology = CloudTopology.random(
+            num_qpus=num_qpus, edge_probability=edge_probability, seed=seed
+        )
+        return cls(
+            topology,
+            computing_qubits_per_qpu=computing_qubits_per_qpu,
+            communication_qubits_per_qpu=communication_qubits_per_qpu,
+            epr_success_probability=epr_success_probability,
+        )
+
+    # ------------------------------------------------------------------
+    # Capacity queries (the "cloud status" input of Fig. 4)
+    # ------------------------------------------------------------------
+    @property
+    def num_qpus(self) -> int:
+        return len(self.qpus)
+
+    @property
+    def qpu_ids(self) -> List[int]:
+        return sorted(self.qpus)
+
+    def qpu(self, qpu_id: int) -> QPU:
+        return self.qpus[qpu_id]
+
+    def total_computing_capacity(self) -> int:
+        return sum(q.computing_capacity for q in self.qpus.values())
+
+    def total_computing_available(self) -> int:
+        return sum(q.computing_available for q in self.qpus.values())
+
+    def total_communication_capacity(self) -> int:
+        return sum(q.communication_capacity for q in self.qpus.values())
+
+    def available_computing(self) -> Dict[int, int]:
+        return {qpu_id: q.computing_available for qpu_id, q in self.qpus.items()}
+
+    def min_available_computing(self) -> int:
+        """Smallest per-QPU availability: Algorithm 1's single-QPU fast path test."""
+        return min(q.computing_available for q in self.qpus.values())
+
+    def max_available_computing(self) -> int:
+        return max(q.computing_available for q in self.qpus.values())
+
+    def remaining_qubits(self) -> int:
+        """Sum of ``Rem(V_i)`` (objective 2 of the placement formulation)."""
+        return sum(q.remaining for q in self.qpus.values())
+
+    def utilization(self) -> float:
+        capacity = self.total_computing_capacity()
+        if capacity == 0:
+            return 0.0
+        return 1.0 - self.total_computing_available() / capacity
+
+    def distance(self, a: int, b: int) -> int:
+        """Communication cost ``C_ij`` between two QPUs (shortest-path hops)."""
+        return self.topology.distance(a, b)
+
+    def can_fit(self, qubit_demand: Mapping[int, int]) -> bool:
+        """Whether the given per-QPU computing-qubit demand fits right now."""
+        return all(
+            self.qpus[qpu_id].computing_available >= amount
+            for qpu_id, amount in qubit_demand.items()
+        )
+
+    def fits_anywhere(self, num_qubits: int) -> Optional[int]:
+        """A QPU that can hold the whole circuit locally, or ``None``.
+
+        Prefers the *tightest* fit so large QPU holes are preserved for big
+        future jobs (the "remaining resource" concern of Sec. IV-A).
+        """
+        candidates = [
+            (q.computing_available, qpu_id)
+            for qpu_id, q in self.qpus.items()
+            if q.computing_available >= num_qubits
+        ]
+        if not candidates:
+            return None
+        return min(candidates)[1]
+
+    # ------------------------------------------------------------------
+    # Admission / release of placements
+    # ------------------------------------------------------------------
+    def admit(self, job_id: str, placement: Mapping[int, int]) -> None:
+        """Reserve computing qubits for ``placement`` (qubit -> QPU).
+
+        The reservation is atomic: if any QPU lacks capacity nothing is
+        allocated and :class:`PlacementError` is raised.
+        """
+        demand: Dict[int, int] = {}
+        for qpu_id in placement.values():
+            if qpu_id not in self.qpus:
+                raise PlacementError(f"placement references unknown QPU {qpu_id}")
+            demand[qpu_id] = demand.get(qpu_id, 0) + 1
+        if not self.can_fit(demand):
+            raise PlacementError(
+                f"job {job_id}: demand {demand} exceeds available computing qubits"
+            )
+        for qpu_id, amount in demand.items():
+            self.qpus[qpu_id].allocate_computing(job_id, amount)
+
+    def release(self, job_id: str) -> int:
+        """Free every computing qubit held by ``job_id``; returns the total freed."""
+        return sum(q.release_computing(job_id) for q in self.qpus.values())
+
+    def active_jobs(self) -> List[str]:
+        jobs = set()
+        for qpu in self.qpus.values():
+            jobs |= qpu.jobs
+        return sorted(jobs)
+
+    # ------------------------------------------------------------------
+    # Graph views used by placement
+    # ------------------------------------------------------------------
+    def resource_graph(self) -> nx.Graph:
+        """Topology annotated with availability, for community detection.
+
+        Node weight = available computing qubits; edge weight blends link
+        presence with the endpoint availability so communities are both well
+        connected and resource rich (Sec. V-B, "Finding feasible QPU sets").
+        """
+        graph = nx.Graph()
+        for qpu_id, qpu in self.qpus.items():
+            graph.add_node(
+                qpu_id,
+                available=qpu.computing_available,
+                capacity=qpu.computing_capacity,
+            )
+        for a, b in self.topology.links():
+            availability = (
+                self.qpus[a].computing_available + self.qpus[b].computing_available
+            )
+            graph.add_edge(a, b, weight=1.0 + float(availability))
+        return graph
+
+    def snapshot(self) -> Dict[int, Dict[str, int]]:
+        return {qpu_id: qpu.snapshot() for qpu_id, qpu in self.qpus.items()}
+
+    def clone_empty(self) -> "QuantumCloud":
+        """A fresh cloud with the same topology and capacities but no allocations."""
+        qpus = {
+            qpu_id: QPU(
+                qpu_id=qpu_id,
+                computing_capacity=qpu.computing_capacity,
+                communication_capacity=qpu.communication_capacity,
+            )
+            for qpu_id, qpu in self.qpus.items()
+        }
+        return QuantumCloud(
+            self.topology,
+            epr_success_probability=self.epr_success_probability,
+            qpus=qpus,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantumCloud(qpus={self.num_qpus}, "
+            f"available={self.total_computing_available()}/"
+            f"{self.total_computing_capacity()})"
+        )

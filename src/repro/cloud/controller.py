@@ -1,0 +1,86 @@
+"""Cloud controller: the component that owns job state and QPU status (Sec. III).
+
+The controller's responsibilities in the paper are (1) finding a placement for
+each submitted circuit, (2) deciding resource allocation for all placed
+circuits, and (3) monitoring QPU status.  Placement and scheduling policies are
+pluggable so that the controller can run CloudQC or any baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional
+
+from ..circuits import QuantumCircuit
+from .cloud import PlacementError, QuantumCloud
+from .job import Job, JobStatus
+
+#: A placement policy maps (circuit, cloud) -> qubit-to-QPU mapping.
+PlacementPolicy = Callable[[QuantumCircuit, QuantumCloud], Mapping[int, int]]
+
+
+class Controller:
+    """Tracks jobs, admits placements, and exposes cloud status."""
+
+    def __init__(self, cloud: QuantumCloud) -> None:
+        self.cloud = cloud
+        self.jobs: Dict[str, Job] = {}
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, circuit: QuantumCircuit, arrival_time: float = 0.0) -> Job:
+        """Register a new tenant job in PENDING state."""
+        job = Job(circuit=circuit, arrival_time=arrival_time)
+        self.jobs[job.job_id] = job
+        return job
+
+    def place(self, job: Job, placement: Mapping[int, int]) -> None:
+        """Admit ``placement`` for ``job``, reserving computing qubits."""
+        if job.job_id not in self.jobs:
+            raise KeyError(f"unknown job {job.job_id}")
+        if job.status not in (JobStatus.PENDING, JobStatus.FAILED):
+            raise PlacementError(f"job {job.job_id} is already {job.status.value}")
+        self.cloud.admit(job.job_id, placement)
+        job.mark_placed(placement)
+
+    def place_with_policy(self, job: Job, policy: PlacementPolicy) -> Dict[int, int]:
+        """Compute a placement with ``policy`` and admit it."""
+        placement = dict(policy(job.circuit, self.cloud))
+        self.place(job, placement)
+        return placement
+
+    def start(self, job: Job, time: float) -> None:
+        if job.status is not JobStatus.PLACED:
+            raise PlacementError(f"job {job.job_id} cannot start from {job.status.value}")
+        job.mark_running(time)
+
+    def complete(self, job: Job, time: float) -> None:
+        """Mark a job finished and free its computing qubits."""
+        self.cloud.release(job.job_id)
+        job.mark_completed(time)
+
+    def fail(self, job: Job) -> None:
+        self.cloud.release(job.job_id)
+        job.mark_failed()
+
+    # ------------------------------------------------------------------
+    # Monitoring
+    # ------------------------------------------------------------------
+    def pending_jobs(self) -> List[Job]:
+        return [j for j in self.jobs.values() if j.status is JobStatus.PENDING]
+
+    def running_jobs(self) -> List[Job]:
+        return [
+            j
+            for j in self.jobs.values()
+            if j.status in (JobStatus.PLACED, JobStatus.RUNNING)
+        ]
+
+    def completed_jobs(self) -> List[Job]:
+        return [j for j in self.jobs.values() if j.status is JobStatus.COMPLETED]
+
+    def cloud_status(self) -> Dict[int, Dict[str, int]]:
+        return self.cloud.snapshot()
+
+    def job(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)

@@ -1,0 +1,134 @@
+"""QPU model: computing qubits plus communication qubits (Sec. III, Fig. 2).
+
+A QPU owns a fixed pool of *computing* qubits, allocated to jobs for the
+lifetime of the job, and a fixed pool of *communication* qubits, leased to the
+network scheduler one EPR-generation attempt at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+
+class ResourceError(RuntimeError):
+    """Raised when an allocation would exceed a QPU's capacity."""
+
+
+@dataclass
+class QPU:
+    """A quantum processing unit in the cloud.
+
+    Attributes
+    ----------
+    qpu_id:
+        Integer identifier; doubles as the node id in the cloud topology.
+    computing_capacity:
+        Number of computing qubits available for circuit partitions.
+    communication_capacity:
+        Number of communication qubits available for EPR generation.
+    """
+
+    qpu_id: int
+    computing_capacity: int = 20
+    communication_capacity: int = 5
+    _computing_used: Dict[str, int] = field(default_factory=dict, repr=False)
+    _communication_used: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.computing_capacity <= 0:
+            raise ValueError("computing capacity must be positive")
+        if self.communication_capacity < 0:
+            raise ValueError("communication capacity cannot be negative")
+
+    # ------------------------------------------------------------------
+    # Computing qubits (held for the duration of a job)
+    # ------------------------------------------------------------------
+    @property
+    def computing_used(self) -> int:
+        return sum(self._computing_used.values())
+
+    @property
+    def computing_available(self) -> int:
+        return self.computing_capacity - self.computing_used
+
+    @property
+    def jobs(self) -> Set[str]:
+        """Identifiers of jobs currently holding computing qubits here."""
+        return set(self._computing_used)
+
+    def allocate_computing(self, job_id: str, amount: int) -> None:
+        """Reserve ``amount`` computing qubits for ``job_id``."""
+        if amount <= 0:
+            raise ValueError("allocation amount must be positive")
+        if amount > self.computing_available:
+            raise ResourceError(
+                f"QPU {self.qpu_id}: requested {amount} computing qubits, "
+                f"only {self.computing_available} available"
+            )
+        self._computing_used[job_id] = self._computing_used.get(job_id, 0) + amount
+
+    def release_computing(self, job_id: str) -> int:
+        """Release every computing qubit held by ``job_id``; returns the count."""
+        return self._computing_used.pop(job_id, 0)
+
+    def computing_held_by(self, job_id: str) -> int:
+        return self._computing_used.get(job_id, 0)
+
+    # ------------------------------------------------------------------
+    # Communication qubits (leased per EPR attempt round)
+    # ------------------------------------------------------------------
+    @property
+    def communication_used(self) -> int:
+        return self._communication_used
+
+    @property
+    def communication_available(self) -> int:
+        return self.communication_capacity - self._communication_used
+
+    def allocate_communication(self, amount: int) -> None:
+        """Reserve ``amount`` communication qubits for an EPR attempt round."""
+        if amount <= 0:
+            raise ValueError("allocation amount must be positive")
+        if amount > self.communication_available:
+            raise ResourceError(
+                f"QPU {self.qpu_id}: requested {amount} communication qubits, "
+                f"only {self.communication_available} available"
+            )
+        self._communication_used += amount
+
+    def release_communication(self, amount: int) -> None:
+        if amount < 0:
+            raise ValueError("release amount cannot be negative")
+        if amount > self._communication_used:
+            raise ResourceError(
+                f"QPU {self.qpu_id}: releasing {amount} communication qubits "
+                f"but only {self._communication_used} are in use"
+            )
+        self._communication_used -= amount
+
+    def reset_communication(self) -> None:
+        """Return every communication qubit to the pool (end of a round)."""
+        self._communication_used = 0
+
+    # ------------------------------------------------------------------
+    # Utilisation metrics (objective 2 of the placement formulation)
+    # ------------------------------------------------------------------
+    @property
+    def remaining(self) -> int:
+        """``Rem(V_i)`` of Eq. 2: unused computing qubits."""
+        return self.computing_available
+
+    @property
+    def utilization(self) -> float:
+        return self.computing_used / self.computing_capacity
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict view of the QPU state (used by the controller/monitor)."""
+        return {
+            "qpu_id": self.qpu_id,
+            "computing_capacity": self.computing_capacity,
+            "computing_used": self.computing_used,
+            "communication_capacity": self.communication_capacity,
+            "communication_used": self.communication_used,
+        }

@@ -1,0 +1,153 @@
+"""Louvain community detection (Blondel et al.) for weighted graphs.
+
+A self-contained implementation of the two-phase Louvain heuristic: local
+moving of nodes between communities to greedily maximise modularity, followed
+by community aggregation, repeated until modularity stops improving.  The QPU
+graphs CloudQC works with have tens of nodes, so clarity is preferred over
+micro-optimisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set
+
+import networkx as nx
+import numpy as np
+
+from .modularity import modularity, total_edge_weight
+
+
+def louvain_communities(
+    graph: nx.Graph,
+    seed: Optional[int] = None,
+    resolution: float = 1.0,
+    max_levels: int = 10,
+) -> List[Set[Hashable]]:
+    """Detect communities with the Louvain method.
+
+    Returns a list of disjoint node sets covering the graph, ordered by
+    decreasing size.  ``resolution`` > 1 favours smaller communities.
+    """
+    if graph.number_of_nodes() == 0:
+        return []
+    rng = np.random.default_rng(seed)
+    # membership maps original node -> community label across aggregation levels.
+    membership: Dict[Hashable, int] = {
+        node: index for index, node in enumerate(graph.nodes())
+    }
+    working = _normalise(graph)
+
+    for _ in range(max_levels):
+        local = _local_moving(working, rng, resolution)
+        if len(set(local.values())) == working.number_of_nodes():
+            break  # no merge happened at this level
+        membership = {
+            node: local[membership[node]] for node in membership
+        }
+        working = _aggregate(working, local)
+        if working.number_of_nodes() <= 1:
+            break
+
+    groups: Dict[int, Set[Hashable]] = {}
+    for node, community in membership.items():
+        groups.setdefault(community, set()).add(node)
+    return sorted(groups.values(), key=len, reverse=True)
+
+
+def _normalise(graph: nx.Graph) -> nx.Graph:
+    normalised = nx.Graph()
+    normalised.add_nodes_from(graph.nodes())
+    for a, b, data in graph.edges(data=True):
+        normalised.add_edge(a, b, weight=float(data.get("weight", 1.0)))
+    return normalised
+
+
+def _local_moving(
+    graph: nx.Graph, rng: np.random.Generator, resolution: float
+) -> Dict[Hashable, int]:
+    """Phase 1: move nodes between communities while modularity improves."""
+    m = total_edge_weight(graph)
+    if m == 0:
+        return {node: index for index, node in enumerate(graph.nodes())}
+    degrees = {node: float(value) for node, value in graph.degree(weight="weight")}
+    community: Dict[Hashable, int] = {
+        node: index for index, node in enumerate(graph.nodes())
+    }
+    community_degree: Dict[int, float] = {
+        community[node]: degrees[node] for node in graph.nodes()
+    }
+
+    improved = True
+    iterations = 0
+    while improved and iterations < 50:
+        improved = False
+        iterations += 1
+        nodes = list(graph.nodes())
+        rng.shuffle(nodes)
+        for node in nodes:
+            current = community[node]
+            # Weight from node to each neighbouring community.
+            neighbor_weight: Dict[int, float] = {}
+            for neighbor, data in graph[node].items():
+                if neighbor == node:
+                    continue
+                neighbor_weight.setdefault(community[neighbor], 0.0)
+                neighbor_weight[community[neighbor]] += float(data.get("weight", 1.0))
+            # Remove node from its community.
+            community_degree[current] -= degrees[node]
+            best_community = current
+            best_gain = 0.0
+            for candidate, weight_to in neighbor_weight.items():
+                gain = weight_to - resolution * community_degree[candidate] * degrees[
+                    node
+                ] / (2.0 * m)
+                baseline = neighbor_weight.get(current, 0.0) - resolution * (
+                    community_degree[current] * degrees[node] / (2.0 * m)
+                )
+                if gain - baseline > best_gain + 1e-12:
+                    best_gain = gain - baseline
+                    best_community = candidate
+            community[node] = best_community
+            community_degree.setdefault(best_community, 0.0)
+            community_degree[best_community] += degrees[node]
+            if best_community != current:
+                improved = True
+    # Relabel community ids to be dense.
+    relabel = {c: i for i, c in enumerate(sorted(set(community.values())))}
+    return {node: relabel[c] for node, c in community.items()}
+
+
+def _aggregate(graph: nx.Graph, community: Dict[Hashable, int]) -> nx.Graph:
+    """Phase 2: collapse communities into super-nodes.
+
+    Intra-community weight is preserved as a self-loop on the super-node, so
+    the next level's modularity gains account for already-merged structure
+    (dropping it makes Louvain over-merge into one giant community).
+    """
+    aggregated = nx.Graph()
+    aggregated.add_nodes_from(set(community.values()))
+    for a, b, data in graph.edges(data=True):
+        ca, cb = community[a], community[b]
+        weight = float(data.get("weight", 1.0))
+        if aggregated.has_edge(ca, cb):
+            aggregated[ca][cb]["weight"] += weight
+        else:
+            aggregated.add_edge(ca, cb, weight=weight)
+    return aggregated
+
+
+def best_partition(
+    graph: nx.Graph, seed: Optional[int] = None, resolution: float = 1.0
+) -> Dict[Hashable, int]:
+    """Louvain partition as a node -> community-id mapping."""
+    communities = louvain_communities(graph, seed=seed, resolution=resolution)
+    assignment: Dict[Hashable, int] = {}
+    for index, community in enumerate(communities):
+        for node in community:
+            assignment[node] = index
+    return assignment
+
+
+def louvain_modularity(graph: nx.Graph, seed: Optional[int] = None) -> float:
+    """Modularity of the Louvain partition (convenience for tests/ablations)."""
+    return modularity(graph, louvain_communities(graph, seed=seed))

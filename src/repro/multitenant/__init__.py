@@ -1,0 +1,55 @@
+"""Multi-tenant layer: batch manager, workloads, cluster simulation, metrics."""
+
+from .batch_manager import (
+    BatchManager,
+    BatchManagerConfig,
+    BatchMode,
+    fifo_batch_manager,
+    priority_batch_manager,
+)
+from .arrivals import bursty_arrivals, poisson_arrivals, uniform_arrivals
+from .workloads import (
+    WORKLOADS,
+    generate_batch,
+    generate_batches,
+    workload_circuits,
+    workload_names,
+)
+from .metrics import (
+    CompletionStats,
+    cdf_at_percentile,
+    completion_cdf,
+    fraction_completed_by,
+    makespan,
+    relative_to_baseline,
+)
+from .cluster_sim import (
+    ClusterSimulationError,
+    MultiTenantSimulator,
+    TenantJobResult,
+)
+
+__all__ = [
+    "BatchManager",
+    "BatchManagerConfig",
+    "BatchMode",
+    "ClusterSimulationError",
+    "CompletionStats",
+    "MultiTenantSimulator",
+    "TenantJobResult",
+    "WORKLOADS",
+    "bursty_arrivals",
+    "cdf_at_percentile",
+    "completion_cdf",
+    "fifo_batch_manager",
+    "fraction_completed_by",
+    "generate_batch",
+    "generate_batches",
+    "makespan",
+    "poisson_arrivals",
+    "priority_batch_manager",
+    "relative_to_baseline",
+    "uniform_arrivals",
+    "workload_circuits",
+    "workload_names",
+]

@@ -1,0 +1,72 @@
+"""Arrival-process generators for the incoming-job mode (Sec. V-B).
+
+The paper's batch manager supports two modes; in the *incoming job* mode jobs
+arrive one after another.  These helpers generate arrival time sequences for
+that mode: Poisson (memoryless tenant requests), uniform spacing, and bursty
+arrivals (several tenants submitting at once, then a gap).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+def poisson_arrivals(
+    num_jobs: int,
+    rate: float,
+    seed: Optional[int] = None,
+    start: float = 0.0,
+) -> List[float]:
+    """Arrival times of a Poisson process with ``rate`` jobs per time unit.
+
+    Inter-arrival gaps are exponential with mean ``1 / rate``; times are
+    cumulative starting from ``start``.
+    """
+    if num_jobs < 0:
+        raise ValueError("num_jobs cannot be negative")
+    if rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate, size=num_jobs)
+    return list(start + np.cumsum(gaps))
+
+
+def uniform_arrivals(
+    num_jobs: int, interval: float, start: float = 0.0
+) -> List[float]:
+    """Evenly spaced arrivals: one job every ``interval`` time units."""
+    if num_jobs < 0:
+        raise ValueError("num_jobs cannot be negative")
+    if interval < 0:
+        raise ValueError("interval cannot be negative")
+    return [start + index * interval for index in range(num_jobs)]
+
+
+def bursty_arrivals(
+    num_jobs: int,
+    burst_size: int,
+    burst_gap: float,
+    seed: Optional[int] = None,
+    jitter: float = 0.0,
+    start: float = 0.0,
+) -> List[float]:
+    """Arrivals in bursts of ``burst_size`` jobs separated by ``burst_gap``.
+
+    Optional exponential ``jitter`` spreads the jobs inside a burst so they are
+    not perfectly simultaneous.
+    """
+    if num_jobs < 0:
+        raise ValueError("num_jobs cannot be negative")
+    if burst_size <= 0:
+        raise ValueError("burst_size must be positive")
+    if burst_gap < 0 or jitter < 0:
+        raise ValueError("burst_gap and jitter cannot be negative")
+    rng = np.random.default_rng(seed)
+    arrivals: List[float] = []
+    for index in range(num_jobs):
+        burst_index = index // burst_size
+        offset = float(rng.exponential(jitter)) if jitter > 0 else 0.0
+        arrivals.append(start + burst_index * burst_gap + offset)
+    return sorted(arrivals)

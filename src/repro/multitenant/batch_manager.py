@@ -1,0 +1,93 @@
+"""Batch manager: job admission order for the multi-tenant cloud (Sec. V-B).
+
+Two processing modes are supported:
+
+* *batch* mode -- all jobs are known up front and CloudQC orders them by the
+  metric ``I_i = λ1 · (#CNOTs / n_i) + λ2 · n_i + λ3 · d_i`` (Eq. 11).  Jobs
+  with a smaller metric (lighter, shallower, less communication-dense) are
+  placed first by default, which empirically reduces the mean job completion
+  time and head-of-line blocking; set ``descending=True`` to place the heavy
+  jobs first instead.
+* *incoming-job* (FIFO) mode -- jobs are processed in arrival order
+  (the CloudQC-FIFO baseline of Sec. VI-D).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..cloud import Job
+
+
+class BatchMode(enum.Enum):
+    """How the batch manager orders pending jobs."""
+
+    PRIORITY = "priority"
+    FIFO = "fifo"
+
+
+@dataclass(frozen=True)
+class BatchManagerConfig:
+    """Weights of the ordering metric and the processing mode."""
+
+    mode: BatchMode = BatchMode.PRIORITY
+    lambda_density: float = 1.0
+    lambda_qubits: float = 1.0
+    lambda_depth: float = 1.0
+    descending: bool = False
+
+
+class BatchManager:
+    """Orders pending jobs for placement."""
+
+    def __init__(self, config: BatchManagerConfig = BatchManagerConfig()) -> None:
+        self.config = config
+
+    def metric(self, job: Job) -> float:
+        """The ordering metric I_i of Eq. 11."""
+        return job.priority_metric(
+            lambda_density=self.config.lambda_density,
+            lambda_qubits=self.config.lambda_qubits,
+            lambda_depth=self.config.lambda_depth,
+        )
+
+    def order(self, jobs: Sequence[Job]) -> List[Job]:
+        """Return the jobs in processing order (does not mutate the input)."""
+        if self.config.mode is BatchMode.FIFO:
+            # Stable sort: jobs with equal arrival times keep submission order.
+            return sorted(jobs, key=lambda job: job.arrival_time)
+        ordered = sorted(
+            jobs,
+            key=lambda job: (self.metric(job), job.job_id),
+            reverse=self.config.descending,
+        )
+        return ordered
+
+    def select_next(self, jobs: Sequence[Job]) -> Job:
+        """The single job that should be placed next."""
+        if not jobs:
+            raise ValueError("no pending jobs to select from")
+        return self.order(jobs)[0]
+
+
+def priority_batch_manager(
+    lambda_density: float = 1.0,
+    lambda_qubits: float = 1.0,
+    lambda_depth: float = 1.0,
+) -> BatchManager:
+    """Batch-mode manager ordered by the Eq. 11 metric (the CloudQC default)."""
+    return BatchManager(
+        BatchManagerConfig(
+            mode=BatchMode.PRIORITY,
+            lambda_density=lambda_density,
+            lambda_qubits=lambda_qubits,
+            lambda_depth=lambda_depth,
+        )
+    )
+
+
+def fifo_batch_manager() -> BatchManager:
+    """First-in-first-out manager (the CloudQC-FIFO baseline)."""
+    return BatchManager(BatchManagerConfig(mode=BatchMode.FIFO))

@@ -1,0 +1,309 @@
+"""Multi-tenant cluster simulation: placement + network scheduling over time.
+
+This is the top of the CloudQC stack: a batch (or stream) of tenant circuits is
+admitted by the batch manager, placed by a placement algorithm whenever enough
+computing qubits are free, and executed over the shared quantum network, with
+all concurrently running jobs competing for the same per-QPU communication
+qubits every EPR round.  The output is the per-job completion time used for
+the CDFs of Figs. 14-17.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..cloud import Controller, Job, PlacementError, QuantumCloud
+from ..community import CommunityError
+from ..network import EPRModel
+from ..placement import MappingError, Placement, PlacementAlgorithm
+from ..scheduling import AllocationRequest, NetworkScheduler, RemoteDAG
+from ..sim import DEFAULT_LATENCY, LatencyModel, local_execution_time
+from .batch_manager import BatchManager, priority_batch_manager
+
+
+class ClusterSimulationError(RuntimeError):
+    """Raised when the multi-tenant simulation cannot make progress."""
+
+
+@dataclass
+class TenantJobResult:
+    """Outcome of one tenant job in a multi-tenant run."""
+
+    job_id: str
+    circuit_name: str
+    arrival_time: float
+    placement_time: float
+    completion_time: float
+    num_remote_operations: int
+    num_qpus_used: int
+
+    @property
+    def job_completion_time(self) -> float:
+        """JCT measured from arrival (the paper's reported metric)."""
+        return self.completion_time - self.arrival_time
+
+    @property
+    def queueing_delay(self) -> float:
+        """Time spent waiting for placement."""
+        return self.placement_time - self.arrival_time
+
+
+@dataclass
+class _ActiveJob:
+    job: Job
+    placement: Placement
+    remote_dag: RemoteDAG
+    local_time: float
+    start_time: float
+    pending_predecessors: Dict[int, int] = field(default_factory=dict)
+    ready: List[int] = field(default_factory=list)
+    completed_ops: int = 0
+    last_finish: float = 0.0
+    completion_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for node_id, operation in self.remote_dag.operations.items():
+            self.pending_predecessors[node_id] = len(operation.predecessors)
+        self.ready = sorted(
+            node for node, count in self.pending_predecessors.items() if count == 0
+        )
+        self.last_finish = self.start_time
+        if self.remote_dag.num_operations == 0:
+            self.completion_time = self.start_time + self.local_time
+
+    @property
+    def remote_done(self) -> bool:
+        return self.completed_ops == self.remote_dag.num_operations
+
+    def finish_operation(self, node_id: int, finish_time: float) -> None:
+        self.completed_ops += 1
+        self.last_finish = max(self.last_finish, finish_time)
+        self.ready.remove(node_id)
+        for successor in self.remote_dag.operation(node_id).successors:
+            self.pending_predecessors[successor] -= 1
+            if self.pending_predecessors[successor] == 0:
+                self.ready.append(successor)
+        self.ready.sort()
+        if self.remote_done:
+            self.completion_time = max(
+                self.start_time + self.local_time, self.last_finish
+            )
+
+
+class MultiTenantSimulator:
+    """Simulates a multi-tenant quantum cloud serving a batch of circuits."""
+
+    def __init__(
+        self,
+        cloud: QuantumCloud,
+        placement_algorithm: PlacementAlgorithm,
+        network_scheduler: NetworkScheduler,
+        batch_manager: Optional[BatchManager] = None,
+        latency: LatencyModel = DEFAULT_LATENCY,
+        epr_success_probability: Optional[float] = None,
+        max_rounds: int = 5_000_000,
+    ) -> None:
+        self.template_cloud = cloud
+        self.placement_algorithm = placement_algorithm
+        self.network_scheduler = network_scheduler
+        self.batch_manager = batch_manager or priority_batch_manager()
+        self.latency = latency
+        self.epr_success_probability = (
+            cloud.epr_success_probability
+            if epr_success_probability is None
+            else epr_success_probability
+        )
+        self.max_rounds = max_rounds
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        circuits: Sequence[QuantumCircuit],
+        seed: Optional[int] = None,
+        arrival_times: Optional[Sequence[float]] = None,
+    ) -> List[TenantJobResult]:
+        """Run a batch of circuits to completion and return per-job results.
+
+        ``arrival_times`` defaults to 0 for every circuit (batch mode); passing
+        increasing arrival times models the incoming-job mode.
+        """
+        if not circuits:
+            return []
+        if arrival_times is None:
+            arrival_times = [0.0] * len(circuits)
+        if len(arrival_times) != len(circuits):
+            raise ValueError("arrival_times must match the number of circuits")
+
+        cloud = self.template_cloud.clone_empty()
+        total_capacity = cloud.total_computing_capacity()
+        for circuit in circuits:
+            if circuit.num_qubits > total_capacity:
+                raise ClusterSimulationError(
+                    f"circuit {circuit.name} needs {circuit.num_qubits} qubits but "
+                    f"the cloud only has {total_capacity}"
+                )
+
+        rng = np.random.default_rng(seed)
+        epr_model = EPRModel(cloud.topology, self.epr_success_probability)
+        controller = Controller(cloud)
+        pending: List[Job] = [
+            controller.submit(circuit, arrival_time=arrival)
+            for circuit, arrival in zip(circuits, arrival_times)
+        ]
+        active: Dict[str, _ActiveJob] = {}
+        results: List[TenantJobResult] = []
+
+        time = min(arrival_times)
+        rounds = 0
+        resources_changed = True  # try placement on the first iteration
+
+        while pending or active:
+            # 1. Retire jobs whose completion time has been reached.
+            finished = [
+                state
+                for state in active.values()
+                if state.completion_time is not None and state.completion_time <= time
+            ]
+            for state in finished:
+                controller.complete(state.job, state.completion_time)
+                results.append(self._result(state))
+                del active[state.job.job_id]
+                resources_changed = True
+
+            # 2. Try to place arrived pending jobs in batch-manager order.
+            if resources_changed and pending:
+                arrived = [job for job in pending if job.arrival_time <= time]
+                placed_any = False
+                for job in self.batch_manager.order(arrived):
+                    placement = self._try_place(job, cloud, rng)
+                    if placement is None:
+                        continue
+                    controller.place(job, placement.mapping)
+                    controller.start(job, time)
+                    active[job.job_id] = _ActiveJob(
+                        job=job,
+                        placement=placement,
+                        remote_dag=RemoteDAG(job.circuit, placement.mapping),
+                        local_time=local_execution_time(job.circuit, self.latency),
+                        start_time=time,
+                    )
+                    pending.remove(job)
+                    placed_any = True
+                resources_changed = placed_any
+
+            # 3. Gather the competing front layers of every running job.
+            runnable = [state for state in active.values() if state.ready]
+            if not runnable:
+                time, progressed = self._advance_idle_time(time, pending, active)
+                if progressed:
+                    resources_changed = True
+                    continue
+                if not active and pending:
+                    raise ClusterSimulationError(
+                        "pending jobs can never be placed: insufficient resources"
+                    )
+                continue
+
+            # 4. One EPR round: allocate, sample successes, advance time.
+            requests = self._build_requests(runnable)
+            capacity = {
+                qpu_id: cloud.qpu(qpu_id).communication_capacity
+                for qpu_id in cloud.qpu_ids
+            }
+            allocation = self.network_scheduler.allocate(requests, capacity, rng=rng)
+            round_end = time + self.latency.epr_preparation
+            tail = self.latency.two_qubit_gate + self.latency.measurement
+            for request in requests:
+                granted = allocation.get(request.op_id, 0)
+                if granted <= 0:
+                    continue
+                job_id, node_id = request.op_id
+                if epr_model.sample_round(request.qpu_a, request.qpu_b, granted, rng):
+                    active[job_id].finish_operation(node_id, round_end + tail)
+            time = round_end
+            rounds += 1
+            if rounds > self.max_rounds:
+                raise ClusterSimulationError(
+                    f"simulation exceeded {self.max_rounds} EPR rounds"
+                )
+
+        return sorted(results, key=lambda result: result.job_id)
+
+    def run_batches(
+        self,
+        batches: Sequence[Sequence[QuantumCircuit]],
+        seed: Optional[int] = None,
+    ) -> List[TenantJobResult]:
+        """Run several independent batches and pool the per-job results."""
+        pooled: List[TenantJobResult] = []
+        base = 0 if seed is None else seed
+        for index, batch in enumerate(batches):
+            pooled.extend(self.run_batch(batch, seed=base + index))
+        return pooled
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _try_place(
+        self, job: Job, cloud: QuantumCloud, rng: np.random.Generator
+    ) -> Optional[Placement]:
+        if job.num_qubits > cloud.total_computing_available():
+            return None
+        try:
+            return self.placement_algorithm.place(
+                job.circuit, cloud, seed=int(rng.integers(1 << 31))
+            )
+        except (MappingError, CommunityError, PlacementError):
+            return None
+
+    @staticmethod
+    def _build_requests(runnable: Sequence[_ActiveJob]) -> List[AllocationRequest]:
+        requests: List[AllocationRequest] = []
+        for state in runnable:
+            for node_id in state.ready:
+                operation = state.remote_dag.operation(node_id)
+                requests.append(
+                    AllocationRequest(
+                        op_id=(state.job.job_id, node_id),
+                        qpu_a=operation.qpus[0],
+                        qpu_b=operation.qpus[1],
+                        priority=operation.priority,
+                    )
+                )
+        return requests
+
+    @staticmethod
+    def _advance_idle_time(
+        time: float, pending: Sequence[Job], active: Dict[str, _ActiveJob]
+    ) -> Tuple[float, bool]:
+        """Advance time to the next arrival or completion when nothing is runnable."""
+        candidates: List[float] = []
+        candidates.extend(
+            job.arrival_time for job in pending if job.arrival_time > time
+        )
+        candidates.extend(
+            state.completion_time
+            for state in active.values()
+            if state.completion_time is not None and state.completion_time > time
+        )
+        if not candidates:
+            return time, False
+        return min(candidates), True
+
+    def _result(self, state: _ActiveJob) -> TenantJobResult:
+        assert state.completion_time is not None
+        return TenantJobResult(
+            job_id=state.job.job_id,
+            circuit_name=state.job.circuit.name,
+            arrival_time=state.job.arrival_time,
+            placement_time=state.start_time,
+            completion_time=state.completion_time,
+            num_remote_operations=state.remote_dag.num_operations,
+            num_qpus_used=state.placement.num_qpus_used,
+        )

@@ -1,0 +1,74 @@
+"""Metrics for multi-tenant runs: job completion time statistics and CDFs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CompletionStats:
+    """Summary statistics of a set of job completion times."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_times(cls, times: Sequence[float]) -> "CompletionStats":
+        if not times:
+            return cls(count=0, mean=0.0, median=0.0, p90=0.0, p99=0.0, maximum=0.0)
+        array = np.asarray(times, dtype=float)
+        return cls(
+            count=int(array.size),
+            mean=float(array.mean()),
+            median=float(np.percentile(array, 50)),
+            p90=float(np.percentile(array, 90)),
+            p99=float(np.percentile(array, 99)),
+            maximum=float(array.max()),
+        )
+
+
+def completion_cdf(times: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF points (time, fraction completed), as plotted in Figs. 14-17."""
+    if not times:
+        return []
+    ordered = sorted(times)
+    total = len(ordered)
+    return [(value, (index + 1) / total) for index, value in enumerate(ordered)]
+
+
+def fraction_completed_by(times: Sequence[float], deadline: float) -> float:
+    """Fraction of jobs whose completion time is at most ``deadline``."""
+    if not times:
+        return 0.0
+    return sum(1 for t in times if t <= deadline) / len(times)
+
+
+def cdf_at_percentile(times: Sequence[float], percentile: float) -> float:
+    """Completion time below which ``percentile`` percent of jobs finish."""
+    if not times:
+        return 0.0
+    return float(np.percentile(np.asarray(times, dtype=float), percentile))
+
+
+def relative_to_baseline(
+    values: Dict[str, float], baseline: str
+) -> Dict[str, float]:
+    """Normalise a method -> value mapping by the baseline's value (Fig. 22)."""
+    if baseline not in values:
+        raise KeyError(f"baseline {baseline!r} missing from {sorted(values)}")
+    reference = values[baseline]
+    if reference == 0:
+        raise ValueError("baseline value is zero; cannot normalise")
+    return {name: value / reference for name, value in values.items()}
+
+
+def makespan(times: Sequence[float]) -> float:
+    """Completion time of the slowest job (batch makespan)."""
+    return max(times) if times else 0.0

@@ -1,0 +1,93 @@
+"""Multi-tenant workload generators (Sec. VI-D).
+
+The paper evaluates four workload mixes; a batch is 20 circuits drawn uniformly
+at random from the mix.  Circuits are generated once per name and cached, since
+the generators are deterministic.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..circuits.library import get_circuit
+
+#: Circuit names of every workload mix used in Figs. 14-17.
+WORKLOADS: Dict[str, List[str]] = {
+    "mixed": [
+        "knn_n129",
+        "qugan_n111",
+        "qugan_n71",
+        "qft_n63",
+        "multiplier_n45",
+        "multiplier_n75",
+    ],
+    "qft": ["qft_n29", "qft_n63", "qft_n100"],
+    "qugan": ["qugan_n39", "qugan_n71", "qugan_n111"],
+    "arithmetic": ["adder_n64", "adder_n118", "multiplier_n45", "multiplier_n75"],
+}
+
+
+@lru_cache(maxsize=None)
+def _cached_circuit(name: str) -> QuantumCircuit:
+    return get_circuit(name)
+
+
+def workload_names() -> List[str]:
+    return sorted(WORKLOADS)
+
+
+def workload_circuits(workload: str) -> List[str]:
+    """The circuit names a workload draws from."""
+    if workload not in WORKLOADS:
+        raise KeyError(f"unknown workload {workload!r}; known: {sorted(WORKLOADS)}")
+    return list(WORKLOADS[workload])
+
+
+def generate_batch(
+    workload: str,
+    batch_size: int = 20,
+    seed: Optional[int] = None,
+    names: Optional[Sequence[str]] = None,
+) -> List[QuantumCircuit]:
+    """Sample a batch of circuits from a workload mix.
+
+    Parameters
+    ----------
+    workload:
+        One of ``"mixed"``, ``"qft"``, ``"qugan"``, ``"arithmetic"`` (ignored
+        when ``names`` is given explicitly).
+    batch_size:
+        Number of circuits per batch; the paper uses 20.
+    seed:
+        Sampling seed.
+    names:
+        Optional explicit pool of circuit names overriding the workload mix.
+    """
+    pool = list(names) if names is not None else workload_circuits(workload)
+    if not pool:
+        raise ValueError("workload pool is empty")
+    if batch_size <= 0:
+        raise ValueError("batch size must be positive")
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(len(pool), size=batch_size, replace=True)
+    return [_cached_circuit(pool[int(index)]) for index in chosen]
+
+
+def generate_batches(
+    workload: str,
+    num_batches: int,
+    batch_size: int = 20,
+    seed: Optional[int] = None,
+) -> List[List[QuantumCircuit]]:
+    """Sample several independent batches (50 in the paper's evaluation)."""
+    if num_batches <= 0:
+        raise ValueError("num_batches must be positive")
+    base = 0 if seed is None else seed
+    return [
+        generate_batch(workload, batch_size=batch_size, seed=base + index)
+        for index in range(num_batches)
+    ]

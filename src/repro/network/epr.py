@@ -1,0 +1,82 @@
+"""Probabilistic EPR-pair generation model (Sec. III, "quantum links").
+
+EPR generation over a quantum link succeeds with a fixed per-attempt
+probability (0.3 by default, following the paper and the experimental
+literature it cites).  A remote gate between QPUs that are not directly linked
+needs entanglement swapping along the shortest path, so its end-to-end success
+probability is the product of the per-hop probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..cloud import CloudTopology
+
+
+@dataclass(frozen=True)
+class EPRModel:
+    """End-to-end EPR generation statistics for a cloud topology."""
+
+    topology: CloudTopology
+    success_probability: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.success_probability <= 1.0:
+            raise ValueError("EPR success probability must lie in (0, 1]")
+
+    def pair_success_probability(self, qpu_a: int, qpu_b: int) -> float:
+        """Probability that one end-to-end entanglement attempt succeeds."""
+        if qpu_a == qpu_b:
+            return 1.0
+        return self.topology.path_success_probability(
+            qpu_a, qpu_b, self.success_probability
+        )
+
+    def round_success_probability(
+        self, qpu_a: int, qpu_b: int, parallel_attempts: int
+    ) -> float:
+        """Probability that at least one of ``parallel_attempts`` pairs succeeds."""
+        if parallel_attempts < 0:
+            raise ValueError("parallel attempts cannot be negative")
+        if parallel_attempts == 0:
+            return 0.0
+        p = self.pair_success_probability(qpu_a, qpu_b)
+        return 1.0 - (1.0 - p) ** parallel_attempts
+
+    def expected_rounds(self, qpu_a: int, qpu_b: int, parallel_attempts: int) -> float:
+        """Expected number of rounds until success with the given redundancy."""
+        probability = self.round_success_probability(qpu_a, qpu_b, parallel_attempts)
+        if probability <= 0.0:
+            return float("inf")
+        return 1.0 / probability
+
+    def sample_round(
+        self,
+        qpu_a: int,
+        qpu_b: int,
+        parallel_attempts: int,
+        rng: np.random.Generator,
+    ) -> bool:
+        """Sample whether an allocation of ``parallel_attempts`` succeeds this round."""
+        if parallel_attempts <= 0:
+            return False
+        return bool(
+            rng.random() < self.round_success_probability(qpu_a, qpu_b, parallel_attempts)
+        )
+
+    def hops(self, qpu_a: int, qpu_b: int) -> int:
+        """Path length used for serial entanglement-swapping latency."""
+        if qpu_a == qpu_b:
+            return 0
+        return self.topology.distance(qpu_a, qpu_b)
+
+
+def expected_attempts(success_probability: float) -> float:
+    """Mean attempts until one EPR pair succeeds (geometric distribution)."""
+    if not 0.0 < success_probability <= 1.0:
+        raise ValueError("success probability must lie in (0, 1]")
+    return 1.0 / success_probability

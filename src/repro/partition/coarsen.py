@@ -1,0 +1,118 @@
+"""Multilevel coarsening via heavy-edge matching.
+
+The coarsening phase repeatedly contracts a maximal matching that prefers heavy
+edges, producing a hierarchy of smaller graphs whose partitions can be
+projected back to the original graph.  This is the same scheme METIS uses; the
+interaction graphs CloudQC partitions are small enough (tens to hundreds of
+qubits) that a straightforward Python implementation is fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+
+@dataclass
+class CoarseningLevel:
+    """One level of the multilevel hierarchy."""
+
+    graph: nx.Graph
+    #: fine node -> coarse node of the *next* (smaller) level.
+    projection: Dict[Hashable, Hashable]
+
+
+def _node_weight(graph: nx.Graph, node: Hashable) -> float:
+    return float(graph.nodes[node].get("weight", 1.0))
+
+
+def heavy_edge_matching(
+    graph: nx.Graph, rng: np.random.Generator
+) -> List[Tuple[Hashable, Hashable]]:
+    """Greedy maximal matching preferring the heaviest incident edge.
+
+    Nodes are visited in random order (randomisation decorrelates successive
+    levels); each unmatched node is matched with its heaviest unmatched
+    neighbour.
+    """
+    nodes = list(graph.nodes())
+    rng.shuffle(nodes)
+    matched: set = set()
+    matching: List[Tuple[Hashable, Hashable]] = []
+    for node in nodes:
+        if node in matched:
+            continue
+        best: Optional[Hashable] = None
+        best_weight = -1.0
+        for neighbor, data in graph[node].items():
+            if neighbor in matched or neighbor == node:
+                continue
+            weight = float(data.get("weight", 1.0))
+            if weight > best_weight:
+                best_weight = weight
+                best = neighbor
+        if best is not None:
+            matched.add(node)
+            matched.add(best)
+            matching.append((node, best))
+    return matching
+
+
+def contract(graph: nx.Graph, matching: List[Tuple[Hashable, Hashable]]) -> CoarseningLevel:
+    """Contract each matched pair into one coarse node, merging weights."""
+    projection: Dict[Hashable, Hashable] = {}
+    coarse = nx.Graph()
+    next_id = 0
+    for a, b in matching:
+        coarse.add_node(next_id, weight=_node_weight(graph, a) + _node_weight(graph, b))
+        projection[a] = next_id
+        projection[b] = next_id
+        next_id += 1
+    for node in graph.nodes():
+        if node not in projection:
+            coarse.add_node(next_id, weight=_node_weight(graph, node))
+            projection[node] = next_id
+            next_id += 1
+    for a, b, data in graph.edges(data=True):
+        ca, cb = projection[a], projection[b]
+        if ca == cb:
+            continue
+        weight = float(data.get("weight", 1.0))
+        if coarse.has_edge(ca, cb):
+            coarse[ca][cb]["weight"] += weight
+        else:
+            coarse.add_edge(ca, cb, weight=weight)
+    return CoarseningLevel(graph=coarse, projection=projection)
+
+
+def coarsen(
+    graph: nx.Graph,
+    target_size: int,
+    seed: Optional[int] = None,
+    max_levels: int = 30,
+) -> List[CoarseningLevel]:
+    """Build the coarsening hierarchy down to roughly ``target_size`` nodes.
+
+    Returns the list of levels from finest to coarsest; each level's
+    ``projection`` maps the previous graph's nodes onto its own.  The input
+    graph itself is not included.  Coarsening stops early when a level shrinks
+    the graph by less than 10% (a sign of a star-like structure).
+    """
+    rng = np.random.default_rng(seed)
+    levels: List[CoarseningLevel] = []
+    current = graph
+    for _ in range(max_levels):
+        if current.number_of_nodes() <= max(target_size, 2):
+            break
+        matching = heavy_edge_matching(current, rng)
+        if not matching:
+            break
+        level = contract(current, matching)
+        if level.graph.number_of_nodes() >= 0.9 * current.number_of_nodes():
+            break
+        levels.append(level)
+        current = level.graph
+    return levels

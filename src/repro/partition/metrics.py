@@ -1,0 +1,70 @@
+"""Partition quality metrics: edge cut, balance, and validity checks."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, Mapping
+
+import networkx as nx
+
+
+def edge_cut(graph: nx.Graph, assignment: Mapping[Hashable, int]) -> float:
+    """Total weight of edges whose endpoints are in different parts."""
+    cut = 0.0
+    for a, b, data in graph.edges(data=True):
+        if assignment[a] != assignment[b]:
+            cut += float(data.get("weight", 1.0))
+    return cut
+
+
+def part_weights(
+    graph: nx.Graph, assignment: Mapping[Hashable, int], num_parts: int
+) -> Dict[int, float]:
+    """Total node weight per part (missing parts appear with weight 0)."""
+    weights: Dict[int, float] = {part: 0.0 for part in range(num_parts)}
+    for node in graph.nodes():
+        weights.setdefault(assignment[node], 0.0)
+        weights[assignment[node]] += float(graph.nodes[node].get("weight", 1.0))
+    return weights
+
+
+def imbalance(
+    graph: nx.Graph, assignment: Mapping[Hashable, int], num_parts: int
+) -> float:
+    """Relative imbalance: max part weight over the ideal weight, minus one.
+
+    A perfectly balanced partition returns 0.0; the METIS-style imbalance
+    factor constrains this value.
+    """
+    weights = part_weights(graph, assignment, num_parts)
+    total = sum(weights.values())
+    if total == 0 or num_parts == 0:
+        return 0.0
+    ideal = total / num_parts
+    return max(weights.values()) / ideal - 1.0
+
+
+def is_valid_partition(
+    graph: nx.Graph, assignment: Mapping[Hashable, int], num_parts: int
+) -> bool:
+    """All nodes assigned, parts within range."""
+    if set(assignment) != set(graph.nodes()):
+        return False
+    return all(0 <= part < num_parts for part in assignment.values())
+
+
+def parts_to_assignment(parts: Mapping[int, set]) -> Dict[Hashable, int]:
+    """Invert a part-id -> node-set mapping into node -> part-id."""
+    assignment: Dict[Hashable, int] = {}
+    for part, nodes in parts.items():
+        for node in nodes:
+            assignment[node] = part
+    return assignment
+
+
+def assignment_to_parts(assignment: Mapping[Hashable, int]) -> Dict[int, set]:
+    """Group nodes by part id."""
+    parts: Dict[int, set] = defaultdict(set)
+    for node, part in assignment.items():
+        parts[part].add(node)
+    return dict(parts)

@@ -1,0 +1,127 @@
+"""Boundary refinement of a k-way partition (greedy Kernighan-Lin / FM style).
+
+Given an assignment, repeatedly move boundary nodes to the adjacent part that
+yields the largest edge-cut gain without violating the balance constraint.
+Moves with zero gain are allowed occasionally to escape plateaus, bounded by a
+pass limit so refinement always terminates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional
+
+import networkx as nx
+import numpy as np
+
+from .metrics import part_weights
+
+
+def _node_weight(graph: nx.Graph, node: Hashable) -> float:
+    return float(graph.nodes[node].get("weight", 1.0))
+
+
+def _gain(
+    graph: nx.Graph,
+    assignment: Mapping[Hashable, int],
+    node: Hashable,
+    target_part: int,
+) -> float:
+    """Edge-cut reduction obtained by moving ``node`` to ``target_part``."""
+    internal = 0.0
+    external = 0.0
+    current = assignment[node]
+    for neighbor, data in graph[node].items():
+        weight = float(data.get("weight", 1.0))
+        if assignment[neighbor] == current:
+            internal += weight
+        elif assignment[neighbor] == target_part:
+            external += weight
+    return external - internal
+
+
+def refine(
+    graph: nx.Graph,
+    assignment: Dict[Hashable, int],
+    num_parts: int,
+    max_part_weight: float,
+    max_passes: int = 8,
+    seed: Optional[int] = None,
+) -> Dict[Hashable, int]:
+    """Greedy boundary refinement; returns a new (improved) assignment."""
+    rng = np.random.default_rng(seed)
+    assignment = dict(assignment)
+    weights = part_weights(graph, assignment, num_parts)
+
+    for _ in range(max_passes):
+        improved = False
+        nodes = list(graph.nodes())
+        rng.shuffle(nodes)
+        for node in nodes:
+            current = assignment[node]
+            # Candidate parts are those of the node's neighbours (boundary moves).
+            candidates = {assignment[n] for n in graph[node]} - {current}
+            if not candidates:
+                continue
+            node_weight = _node_weight(graph, node)
+            best_part = None
+            best_gain = 0.0
+            for part in candidates:
+                if weights[part] + node_weight > max_part_weight:
+                    continue
+                gain = _gain(graph, assignment, node, part)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_part = part
+            if best_part is not None:
+                assignment[node] = best_part
+                weights[current] -= node_weight
+                weights[best_part] += node_weight
+                improved = True
+        if not improved:
+            break
+    return assignment
+
+
+def rebalance(
+    graph: nx.Graph,
+    assignment: Dict[Hashable, int],
+    num_parts: int,
+    max_part_weight: float,
+) -> Dict[Hashable, int]:
+    """Force the partition under the balance constraint.
+
+    Overweight parts shed their least-connected nodes to the lightest part
+    with room.  Used after projection when coarse node weights make a part
+    overshoot the limit.
+    """
+    assignment = dict(assignment)
+    weights = part_weights(graph, assignment, num_parts)
+    for part in sorted(weights, key=weights.get, reverse=True):
+        while weights[part] > max_part_weight:
+            members = [n for n, p in assignment.items() if p == part]
+            if len(members) <= 1:
+                break
+            # Pick the member with the least internal connectivity.
+            def internal_weight(node: Hashable) -> float:
+                return sum(
+                    float(d.get("weight", 1.0))
+                    for n, d in graph[node].items()
+                    if assignment[n] == part
+                )
+
+            node = min(members, key=internal_weight)
+            node_weight = _node_weight(graph, node)
+            destinations = sorted(
+                (w, p) for p, w in weights.items() if p != part
+            )
+            moved = False
+            for _, destination in destinations:
+                if weights[destination] + node_weight <= max_part_weight:
+                    assignment[node] = destination
+                    weights[part] -= node_weight
+                    weights[destination] += node_weight
+                    moved = True
+                    break
+            if not moved:
+                break
+    return assignment

@@ -1,0 +1,69 @@
+"""Circuit placement: CloudQC (Algorithm 1 + 2), CloudQC-BFS, and baselines."""
+
+from typing import Dict, Type
+
+from .base import Placement, PlacementAlgorithm, validate_placement
+from .scoring import (
+    communication_cost,
+    estimate_execution_time,
+    placement_score,
+    score_mapping,
+)
+from .mapping import MappingError, expand_parts_to_qubits, map_partitions_to_qpus
+from .qpu_selection import bfs_qpu_set, community_qpu_set
+from .cloudqc import (
+    DEFAULT_IMBALANCE_FACTORS,
+    CloudQCBFSPlacement,
+    CloudQCPlacement,
+)
+from .exhaustive import ExhaustivePlacement, optimal_communication_cost
+from .random_placement import RandomPlacement, random_mapping, random_qpu_walk
+from .simulated_annealing import SimulatedAnnealingPlacement
+from .genetic import GeneticPlacement
+
+#: Registry used by the benchmarks and the command-line examples.
+PLACEMENT_ALGORITHMS: Dict[str, Type[PlacementAlgorithm]] = {
+    CloudQCPlacement.name: CloudQCPlacement,
+    ExhaustivePlacement.name: ExhaustivePlacement,
+    CloudQCBFSPlacement.name: CloudQCBFSPlacement,
+    RandomPlacement.name: RandomPlacement,
+    SimulatedAnnealingPlacement.name: SimulatedAnnealingPlacement,
+    GeneticPlacement.name: GeneticPlacement,
+}
+
+
+def get_placement_algorithm(name: str, **kwargs) -> PlacementAlgorithm:
+    """Instantiate a placement algorithm by its registry name."""
+    if name not in PLACEMENT_ALGORITHMS:
+        raise KeyError(
+            f"unknown placement algorithm {name!r}; known: {sorted(PLACEMENT_ALGORITHMS)}"
+        )
+    return PLACEMENT_ALGORITHMS[name](**kwargs)
+
+
+__all__ = [
+    "CloudQCBFSPlacement",
+    "CloudQCPlacement",
+    "DEFAULT_IMBALANCE_FACTORS",
+    "ExhaustivePlacement",
+    "GeneticPlacement",
+    "MappingError",
+    "PLACEMENT_ALGORITHMS",
+    "Placement",
+    "PlacementAlgorithm",
+    "RandomPlacement",
+    "SimulatedAnnealingPlacement",
+    "bfs_qpu_set",
+    "communication_cost",
+    "community_qpu_set",
+    "estimate_execution_time",
+    "expand_parts_to_qubits",
+    "get_placement_algorithm",
+    "map_partitions_to_qpus",
+    "optimal_communication_cost",
+    "placement_score",
+    "random_mapping",
+    "random_qpu_walk",
+    "score_mapping",
+    "validate_placement",
+]

@@ -1,0 +1,202 @@
+"""CloudQC circuit placement (Algorithm 1) and the CloudQC-BFS variant.
+
+For each candidate (imbalance factor, part count) pair the pipeline is:
+
+1. partition the qubit-interaction graph with the multilevel partitioner,
+2. select a QPU set -- community detection for CloudQC, BFS expansion for
+   CloudQC-BFS,
+3. map parts to QPUs with the graph-center heuristic (Algorithm 2),
+4. score the resulting qubit mapping with ``S = alpha / T + beta / C``.
+
+The highest-scoring mapping over all candidates is returned.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..circuits import InteractionGraph, QuantumCircuit
+from ..cloud import QuantumCloud
+from ..community import CommunityError
+from ..partition import partition_graph
+from .base import Placement, PlacementAlgorithm
+from .mapping import MappingError, expand_parts_to_qubits, map_partitions_to_qpus
+from .qpu_selection import bfs_qpu_set, community_qpu_set
+from .scoring import score_mapping
+
+#: Imbalance factors explored by default (Algorithm 1's alpha list).
+DEFAULT_IMBALANCE_FACTORS: Tuple[float, ...] = (0.05, 0.15, 0.30, 0.50)
+
+
+class CloudQCPlacement(PlacementAlgorithm):
+    """The paper's placement algorithm (community detection + Algorithm 2)."""
+
+    name = "cloudqc"
+    qpu_selection = "community"
+
+    def __init__(
+        self,
+        imbalance_factors: Sequence[float] = DEFAULT_IMBALANCE_FACTORS,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        max_extra_parts: int = 4,
+        community_method: str = "louvain",
+        allow_single_qpu: bool = True,
+    ) -> None:
+        if not imbalance_factors:
+            raise ValueError("at least one imbalance factor is required")
+        self.imbalance_factors = tuple(imbalance_factors)
+        self.alpha = alpha
+        self.beta = beta
+        self.max_extra_parts = max_extra_parts
+        self.community_method = community_method
+        self.allow_single_qpu = allow_single_qpu
+
+    # ------------------------------------------------------------------
+    # QPU-set selection (overridden by the BFS variant)
+    # ------------------------------------------------------------------
+    def _select_qpus(
+        self,
+        cloud: QuantumCloud,
+        required_qubits: int,
+        min_qpus: int,
+        seed: Optional[int],
+    ) -> List[int]:
+        return community_qpu_set(
+            cloud,
+            required_qubits,
+            min_qpus=min_qpus,
+            method=self.community_method,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        circuit: QuantumCircuit,
+        cloud: QuantumCloud,
+        seed: Optional[int] = None,
+    ) -> Placement:
+        size = circuit.num_qubits
+        if cloud.total_computing_available() < size:
+            raise MappingError(
+                f"cloud has {cloud.total_computing_available()} free qubits, "
+                f"circuit {circuit.name} needs {size}"
+            )
+
+        # Fast path: the whole circuit fits on one QPU (Algorithm 1, line 2).
+        if self.allow_single_qpu:
+            host = cloud.fits_anywhere(size)
+            if host is not None:
+                mapping = {qubit: host for qubit in range(size)}
+                metrics = score_mapping(
+                    circuit, mapping, cloud, alpha=self.alpha, beta=self.beta
+                )
+                return Placement(
+                    circuit=circuit,
+                    mapping=mapping,
+                    algorithm=self.name,
+                    score=metrics["score"],
+                    metadata=metrics,
+                )
+
+        interaction = InteractionGraph.from_circuit(circuit)
+        candidates = self._candidate_part_counts(size, cloud)
+        best: Optional[Placement] = None
+
+        for attempt, imbalance in enumerate(self.imbalance_factors):
+            for num_parts in candidates:
+                placement = self._try_placement(
+                    circuit,
+                    interaction,
+                    cloud,
+                    num_parts,
+                    imbalance,
+                    seed=None if seed is None else seed + attempt,
+                )
+                if placement is None:
+                    continue
+                if best is None or placement.score > best.score:
+                    best = placement
+        if best is None:
+            raise MappingError(
+                f"CloudQC could not find a feasible placement for {circuit.name}"
+            )
+        return best
+
+    def _candidate_part_counts(
+        self, circuit_size: int, cloud: QuantumCloud
+    ) -> List[int]:
+        """Part counts k explored by the search (Algorithm 1's inner loop)."""
+        per_qpu = max(cloud.max_available_computing(), 1)
+        min_parts = max(2, math.ceil(circuit_size / per_qpu))
+        usable_qpus = sum(
+            1 for q in cloud.qpus.values() if q.computing_available > 0
+        )
+        max_parts = min(cloud.num_qpus, usable_qpus, min_parts + self.max_extra_parts)
+        return list(range(min_parts, max(max_parts, min_parts) + 1))
+
+    def _try_placement(
+        self,
+        circuit: QuantumCircuit,
+        interaction: InteractionGraph,
+        cloud: QuantumCloud,
+        num_parts: int,
+        imbalance: float,
+        seed: Optional[int],
+    ) -> Optional[Placement]:
+        if num_parts > circuit.num_qubits:
+            return None
+        assignment = partition_graph(
+            interaction.to_networkx(), num_parts, imbalance=imbalance, seed=seed
+        )
+        part_sizes: Dict[int, int] = {}
+        for part in assignment.values():
+            part_sizes[part] = part_sizes.get(part, 0) + 1
+        # Drop empty parts (the partitioner never creates them, but be safe).
+        part_sizes = {part: size for part, size in part_sizes.items() if size > 0}
+
+        try:
+            qpu_set = self._select_qpus(
+                cloud, circuit.num_qubits, min_qpus=len(part_sizes), seed=seed
+            )
+            quotient = interaction.quotient_graph(assignment)
+            part_to_qpu = map_partitions_to_qpus(
+                part_sizes, quotient, cloud, qpu_set
+            )
+            mapping = expand_parts_to_qubits(assignment, part_to_qpu)
+        except (MappingError, CommunityError):
+            # This (imbalance, k) candidate is infeasible; try the next one.
+            return None
+
+        metrics = score_mapping(
+            circuit, mapping, cloud, alpha=self.alpha, beta=self.beta
+        )
+        metrics["num_parts"] = float(len(part_sizes))
+        metrics["imbalance"] = float(imbalance)
+        return Placement(
+            circuit=circuit,
+            mapping=mapping,
+            algorithm=self.name,
+            score=metrics["score"],
+            metadata=metrics,
+        )
+
+
+class CloudQCBFSPlacement(CloudQCPlacement):
+    """CloudQC-BFS: identical pipeline but BFS-based QPU selection (Sec. VI-B)."""
+
+    name = "cloudqc-bfs"
+    qpu_selection = "bfs"
+
+    def _select_qpus(
+        self,
+        cloud: QuantumCloud,
+        required_qubits: int,
+        min_qpus: int,
+        seed: Optional[int],
+    ) -> List[int]:
+        return bfs_qpu_set(cloud, required_qubits, min_qpus=min_qpus)

@@ -1,0 +1,181 @@
+"""Partition-to-QPU mapping heuristic (Algorithm 2, "Find Placement").
+
+Given a circuit partition, the quotient interaction graph between parts, and a
+selected QPU community, anchor the most central part on the community's graph
+center and expand outwards: every remaining part is mapped to the free QPU
+closest (in hop distance, weighted by interaction strength) to the QPUs of its
+already-mapped neighbouring parts.  Parts with heavy mutual communication
+therefore land on nearby QPUs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+
+import networkx as nx
+
+from ..cloud import QuantumCloud
+from ..community import graph_center
+
+
+class MappingError(RuntimeError):
+    """Raised when the parts cannot be fitted on the candidate QPUs."""
+
+
+def _part_order(quotient: nx.Graph, center_part: Hashable) -> List[Hashable]:
+    """BFS order over the quotient graph from the centre, heaviest edges first."""
+    order: List[Hashable] = []
+    visited = {center_part}
+    queue = deque([center_part])
+    while queue:
+        part = queue.popleft()
+        order.append(part)
+        neighbors = sorted(
+            quotient[part].items(),
+            key=lambda item: -float(item[1].get("weight", 1.0)),
+        )
+        for neighbor, _ in neighbors:
+            if neighbor not in visited:
+                visited.add(neighbor)
+                queue.append(neighbor)
+    # Parts disconnected from the centre (no cross edges) come last, largest first.
+    for part in sorted(set(quotient.nodes()) - visited):
+        order.append(part)
+    return order
+
+
+def map_partitions_to_qpus(
+    part_sizes: Mapping[Hashable, int],
+    quotient: nx.Graph,
+    cloud: QuantumCloud,
+    candidate_qpus: Sequence[int],
+    allow_sharing: bool = True,
+) -> Dict[Hashable, int]:
+    """Map every part to a QPU drawn (preferentially) from ``candidate_qpus``.
+
+    Parameters
+    ----------
+    part_sizes:
+        Number of computing qubits each part needs.
+    quotient:
+        Inter-part interaction graph (edge weight = crossing two-qubit gates).
+    cloud:
+        The quantum cloud; availability is read live so multi-tenant placements
+        account for qubits already held by other jobs.
+    candidate_qpus:
+        QPUs selected by community detection (or BFS); other QPUs are used only
+        if the candidates run out of capacity.
+    allow_sharing:
+        Whether two parts may share one QPU when capacity allows.  Algorithm 2
+        prefers distinct QPUs (sharing would merge the parts), so shared QPUs
+        are only used as a fallback.
+    """
+    parts = list(part_sizes)
+    if not parts:
+        return {}
+    candidates = [q for q in candidate_qpus if q in cloud.qpus]
+    if not candidates:
+        candidates = cloud.qpu_ids
+
+    available: Dict[int, int] = {
+        qpu_id: cloud.qpu(qpu_id).computing_available for qpu_id in cloud.qpu_ids
+    }
+
+    community_center = graph_center(cloud.topology.graph, candidates)
+    if quotient.number_of_nodes() > 0 and quotient.number_of_edges() > 0:
+        center_part = graph_center(quotient)
+    else:
+        center_part = max(parts, key=lambda p: part_sizes[p])
+
+    order = _part_order(quotient, center_part) if quotient.number_of_nodes() else list(parts)
+    # Parts not present in the quotient graph (fully local, no cross edges).
+    for part in parts:
+        if part not in order:
+            order.append(part)
+
+    mapping: Dict[Hashable, int] = {}
+    used: set = set()
+
+    for part in order:
+        if part not in part_sizes:
+            continue
+        size = part_sizes[part]
+        target = _pick_qpu(
+            part,
+            size,
+            mapping,
+            quotient,
+            cloud,
+            candidates,
+            available,
+            used,
+            community_center,
+            allow_sharing,
+        )
+        if target is None:
+            raise MappingError(
+                f"no QPU can host part {part!r} needing {size} qubits"
+            )
+        mapping[part] = target
+        available[target] -= size
+        used.add(target)
+    return mapping
+
+
+def _pick_qpu(
+    part: Hashable,
+    size: int,
+    mapping: Mapping[Hashable, int],
+    quotient: nx.Graph,
+    cloud: QuantumCloud,
+    candidates: Sequence[int],
+    available: Mapping[int, int],
+    used: Iterable[int],
+    community_center: int,
+    allow_sharing: bool,
+) -> Optional[int]:
+    used = set(used)
+
+    def attraction(qpu_id: int) -> float:
+        """Weighted distance to the QPUs of already-mapped neighbouring parts."""
+        total = 0.0
+        if quotient.has_node(part):
+            for neighbor, data in quotient[part].items():
+                if neighbor in mapping:
+                    weight = float(data.get("weight", 1.0))
+                    total += weight * cloud.distance(qpu_id, mapping[neighbor])
+        return total
+
+    def rank(qpu_id: int) -> tuple:
+        return (
+            attraction(qpu_id),
+            cloud.distance(qpu_id, community_center),
+            -available[qpu_id],
+            qpu_id,
+        )
+
+    pools: List[List[int]] = [
+        [q for q in candidates if q not in used and available[q] >= size],
+    ]
+    if allow_sharing:
+        pools.append([q for q in candidates if q in used and available[q] >= size])
+    pools.append([q for q in cloud.qpu_ids if q not in used and available[q] >= size])
+    if allow_sharing:
+        pools.append([q for q in cloud.qpu_ids if available[q] >= size])
+
+    for pool in pools:
+        if pool:
+            return min(pool, key=rank)
+    return None
+
+
+def expand_parts_to_qubits(
+    part_assignment: Mapping[int, Hashable],
+    part_to_qpu: Mapping[Hashable, int],
+) -> Dict[int, int]:
+    """Compose qubit -> part and part -> QPU into the final qubit -> QPU mapping."""
+    missing = {part for part in part_assignment.values() if part not in part_to_qpu}
+    if missing:
+        raise MappingError(f"parts {sorted(map(str, missing))} were never mapped to a QPU")
+    return {qubit: part_to_qpu[part] for qubit, part in part_assignment.items()}

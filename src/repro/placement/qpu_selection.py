@@ -1,0 +1,85 @@
+"""QPU-set selection strategies used by the CloudQC placement pipeline.
+
+CloudQC proper selects QPUs with modularity-based community detection
+(:mod:`repro.community.detection`); CloudQC-BFS replaces that step with a
+breadth-first expansion over the cloud topology from the most resource-rich
+QPU.  Both return a list of QPU ids whose combined free computing qubits cover
+the circuit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from ..cloud import QuantumCloud
+from ..community import CommunityError, select_qpu_community
+
+
+def community_qpu_set(
+    cloud: QuantumCloud,
+    required_qubits: int,
+    min_qpus: int = 1,
+    method: str = "louvain",
+    seed: Optional[int] = None,
+) -> List[int]:
+    """Community-detection-based QPU selection (the CloudQC default)."""
+    return [
+        int(qpu)
+        for qpu in select_qpu_community(
+            cloud.resource_graph(),
+            required_qubits,
+            min_qpus=min_qpus,
+            method=method,
+            seed=seed,
+        )
+    ]
+
+
+def bfs_qpu_set(
+    cloud: QuantumCloud,
+    required_qubits: int,
+    min_qpus: int = 1,
+    start: Optional[int] = None,
+) -> List[int]:
+    """Breadth-first QPU selection (the CloudQC-BFS baseline).
+
+    Starting from ``start`` (default: the QPU with the most free computing
+    qubits), expand over quantum links until the accumulated free capacity
+    covers ``required_qubits`` and at least ``min_qpus`` QPUs are selected.
+    """
+    if required_qubits <= 0:
+        raise ValueError("required_qubits must be positive")
+    available = cloud.available_computing()
+    if sum(available.values()) < required_qubits:
+        raise CommunityError(
+            f"cloud has only {sum(available.values())} free qubits, "
+            f"need {required_qubits}"
+        )
+    if start is None:
+        start = max(available, key=lambda q: (available[q], -q))
+
+    selected: List[int] = []
+    capacity = 0
+    visited = {start}
+    queue = deque([start])
+    while queue and (capacity < required_qubits or len(selected) < min_qpus):
+        qpu = queue.popleft()
+        if available[qpu] > 0:
+            selected.append(qpu)
+            capacity += available[qpu]
+        for neighbor in cloud.topology.neighbors(qpu):
+            if neighbor not in visited:
+                visited.add(neighbor)
+                queue.append(neighbor)
+    if capacity < required_qubits:
+        # The BFS tree ran out (disconnected availability); fall back to any QPU.
+        for qpu in sorted(available, key=available.get, reverse=True):
+            if qpu not in selected and available[qpu] > 0:
+                selected.append(qpu)
+                capacity += available[qpu]
+            if capacity >= required_qubits and len(selected) >= min_qpus:
+                break
+    if capacity < required_qubits:
+        raise CommunityError("BFS selection could not cover the required qubits")
+    return sorted(selected)

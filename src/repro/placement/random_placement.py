@@ -1,0 +1,106 @@
+"""Random placement baseline (Sec. VI-B).
+
+"It starts with a random node and does a random search to select a set of QPUs
+that meet computing constraints" -- then qubits are scattered uniformly over
+the selected QPUs, respecting per-QPU capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..cloud import QuantumCloud
+from .base import Placement, PlacementAlgorithm
+from .mapping import MappingError
+from .scoring import score_mapping
+
+
+def random_qpu_walk(
+    cloud: QuantumCloud,
+    required_qubits: int,
+    rng: np.random.Generator,
+) -> List[int]:
+    """Random-walk QPU selection: expand from a random start until capacity fits."""
+    available = cloud.available_computing()
+    if sum(available.values()) < required_qubits:
+        raise MappingError(
+            f"cloud has {sum(available.values())} free qubits, need {required_qubits}"
+        )
+    start = int(rng.choice(cloud.qpu_ids))
+    selected: List[int] = []
+    capacity = 0
+    visited = {start}
+    frontier = [start]
+    while frontier and capacity < required_qubits:
+        index = int(rng.integers(len(frontier)))
+        qpu = frontier.pop(index)
+        if available[qpu] > 0:
+            selected.append(qpu)
+            capacity += available[qpu]
+        for neighbor in cloud.topology.neighbors(qpu):
+            if neighbor not in visited:
+                visited.add(neighbor)
+                frontier.append(neighbor)
+    if capacity < required_qubits:
+        # Disconnected availability: top up with random remaining QPUs.
+        remaining = [q for q in cloud.qpu_ids if q not in selected and available[q] > 0]
+        rng.shuffle(remaining)
+        for qpu in remaining:
+            selected.append(qpu)
+            capacity += available[qpu]
+            if capacity >= required_qubits:
+                break
+    return selected
+
+
+def random_mapping(
+    circuit: QuantumCircuit,
+    cloud: QuantumCloud,
+    rng: np.random.Generator,
+    qpu_set: Optional[List[int]] = None,
+) -> Dict[int, int]:
+    """Scatter the circuit's qubits uniformly over ``qpu_set`` within capacity."""
+    if qpu_set is None:
+        qpu_set = random_qpu_walk(cloud, circuit.num_qubits, rng)
+    slack = {qpu: cloud.qpu(qpu).computing_available for qpu in qpu_set}
+    qubits = list(range(circuit.num_qubits))
+    rng.shuffle(qubits)
+    mapping: Dict[int, int] = {}
+    for qubit in qubits:
+        options = [qpu for qpu in qpu_set if slack[qpu] > 0]
+        if not options:
+            raise MappingError("selected QPU set ran out of capacity")
+        choice = int(rng.choice(options))
+        mapping[qubit] = choice
+        slack[choice] -= 1
+    return mapping
+
+
+class RandomPlacement(PlacementAlgorithm):
+    """Uniformly random capacity-respecting placement."""
+
+    name = "random"
+
+    def __init__(self, alpha: float = 1.0, beta: float = 1.0) -> None:
+        self.alpha = alpha
+        self.beta = beta
+
+    def place(
+        self,
+        circuit: QuantumCircuit,
+        cloud: QuantumCloud,
+        seed: Optional[int] = None,
+    ) -> Placement:
+        rng = np.random.default_rng(seed)
+        mapping = random_mapping(circuit, cloud, rng)
+        metrics = score_mapping(circuit, mapping, cloud, alpha=self.alpha, beta=self.beta)
+        return Placement(
+            circuit=circuit,
+            mapping=mapping,
+            algorithm=self.name,
+            score=metrics["score"],
+            metadata=metrics,
+        )

@@ -1,0 +1,50 @@
+"""Network scheduling: remote DAGs, priorities, EPR allocation policies."""
+
+from .remote_dag import RemoteDAG, RemoteOperation
+from .priority import (
+    PRIORITY_FUNCTIONS,
+    apply_priorities,
+    descendant_count_priorities,
+    longest_path_priorities,
+    uniform_priorities,
+)
+from .allocation import (
+    AllocationRequest,
+    allocation_usage,
+    charge,
+    is_feasible,
+    max_allocatable,
+)
+from .schedulers import (
+    NETWORK_SCHEDULERS,
+    AverageScheduler,
+    CloudQCScheduler,
+    GreedyScheduler,
+    NetworkScheduler,
+    RandomScheduler,
+    get_scheduler,
+)
+from .proportional import WeightedProportionalScheduler
+
+__all__ = [
+    "AllocationRequest",
+    "AverageScheduler",
+    "CloudQCScheduler",
+    "GreedyScheduler",
+    "NETWORK_SCHEDULERS",
+    "NetworkScheduler",
+    "PRIORITY_FUNCTIONS",
+    "RandomScheduler",
+    "RemoteDAG",
+    "WeightedProportionalScheduler",
+    "RemoteOperation",
+    "allocation_usage",
+    "apply_priorities",
+    "charge",
+    "descendant_count_priorities",
+    "get_scheduler",
+    "is_feasible",
+    "longest_path_priorities",
+    "max_allocatable",
+    "uniform_priorities",
+]

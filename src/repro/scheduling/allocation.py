@@ -1,0 +1,70 @@
+"""Communication-qubit allocation requests and feasibility checks.
+
+The network scheduler's core decision each round is how many communication-
+qubit pairs to allocate to every remote operation in the (multi-job) front
+layer, subject to each QPU's communication capacity (Eq. 8).  This module
+defines the request/allocation data structures shared by every policy and the
+validator used in tests and property checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class AllocationRequest:
+    """One front-layer remote operation asking for EPR attempts this round."""
+
+    op_id: Tuple[str, int]
+    qpu_a: int
+    qpu_b: int
+    priority: int = 0
+
+    @property
+    def qpus(self) -> Tuple[int, int]:
+        return (self.qpu_a, self.qpu_b)
+
+
+def allocation_usage(
+    requests: Iterable[AllocationRequest], allocation: Mapping[Tuple[str, int], int]
+) -> Dict[int, int]:
+    """Communication qubits consumed on each QPU by ``allocation``."""
+    usage: Dict[int, int] = {}
+    for request in requests:
+        amount = allocation.get(request.op_id, 0)
+        if amount <= 0:
+            continue
+        usage[request.qpu_a] = usage.get(request.qpu_a, 0) + amount
+        usage[request.qpu_b] = usage.get(request.qpu_b, 0) + amount
+    return usage
+
+
+def is_feasible(
+    requests: Iterable[AllocationRequest],
+    allocation: Mapping[Tuple[str, int], int],
+    capacity: Mapping[int, int],
+) -> bool:
+    """Check Eq. 8: per-QPU usage never exceeds communication capacity."""
+    if any(amount < 0 for amount in allocation.values()):
+        return False
+    usage = allocation_usage(requests, allocation)
+    return all(usage[qpu] <= capacity.get(qpu, 0) for qpu in usage)
+
+
+def max_allocatable(
+    request: AllocationRequest, remaining: Mapping[int, int]
+) -> int:
+    """Largest number of pairs grantable to ``request`` given remaining capacity."""
+    return max(0, min(remaining.get(request.qpu_a, 0), remaining.get(request.qpu_b, 0)))
+
+
+def charge(
+    request: AllocationRequest, amount: int, remaining: Dict[int, int]
+) -> None:
+    """Deduct an granted allocation from the remaining per-QPU capacity."""
+    if amount <= 0:
+        return
+    remaining[request.qpu_a] = remaining.get(request.qpu_a, 0) - amount
+    remaining[request.qpu_b] = remaining.get(request.qpu_b, 0) - amount

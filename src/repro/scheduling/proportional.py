@@ -1,0 +1,91 @@
+"""Weighted-proportional EPR allocation: an additional scheduling policy.
+
+Not part of the paper's comparison, but a natural middle ground between the
+Average baseline (equal shares, priority-blind) and the CloudQC policy
+(priority-ordered passes): every front-layer operation receives a share of
+each QPU's communication qubits proportional to ``priority + 1``.  Used by the
+ablation studies and available through the scheduler registry as
+``"proportional"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .allocation import AllocationRequest, charge, max_allocatable
+from .schedulers import NETWORK_SCHEDULERS, NetworkScheduler
+
+
+class WeightedProportionalScheduler(NetworkScheduler):
+    """Allocate communication qubits proportionally to operation priority."""
+
+    name = "proportional"
+
+    def __init__(self, weight_offset: float = 1.0) -> None:
+        if weight_offset <= 0:
+            raise ValueError("weight_offset must be positive")
+        self.weight_offset = weight_offset
+
+    def allocate(
+        self,
+        requests: Sequence[AllocationRequest],
+        capacity: Mapping[int, int],
+        rng: Optional[np.random.Generator] = None,
+    ) -> Dict[Tuple[str, int], int]:
+        remaining = dict(capacity)
+        allocation: Dict[Tuple[str, int], int] = {}
+        if not requests:
+            return allocation
+
+        weights = {
+            request.op_id: request.priority + self.weight_offset for request in requests
+        }
+        # Target share per QPU: fraction of that QPU's capacity proportional to
+        # the weights of the operations touching it.
+        targets: Dict[Tuple[str, int], float] = {}
+        for qpu, qpu_capacity in capacity.items():
+            touching = [r for r in requests if qpu in (r.qpu_a, r.qpu_b)]
+            total_weight = sum(weights[r.op_id] for r in touching)
+            if total_weight <= 0:
+                continue
+            for request in touching:
+                share = qpu_capacity * weights[request.op_id] / total_weight
+                current = targets.get(request.op_id)
+                targets[request.op_id] = share if current is None else min(current, share)
+
+        # Base pass: one pair per operation (starvation freedom), highest
+        # target first; then top every operation up towards its proportional
+        # target; finally hand out whatever capacity is left round-robin.
+        ordered = sorted(requests, key=lambda r: -targets.get(r.op_id, 0.0))
+        for request in ordered:
+            if max_allocatable(request, remaining) >= 1:
+                allocation[request.op_id] = 1
+                charge(request, 1, remaining)
+        progress = True
+        while progress:
+            progress = False
+            for request in ordered:
+                granted = allocation.get(request.op_id, 0)
+                if granted == 0 or granted >= targets.get(request.op_id, 0.0):
+                    continue
+                if max_allocatable(request, remaining) >= 1:
+                    allocation[request.op_id] = granted + 1
+                    charge(request, 1, remaining)
+                    progress = True
+        progress = True
+        while progress:
+            progress = False
+            for request in ordered:
+                if allocation.get(request.op_id, 0) >= 1 and max_allocatable(
+                    request, remaining
+                ) >= 1:
+                    allocation[request.op_id] += 1
+                    charge(request, 1, remaining)
+                    progress = True
+        return allocation
+
+
+# Register alongside the paper's four policies so get_scheduler() can build it.
+NETWORK_SCHEDULERS[WeightedProportionalScheduler.name] = WeightedProportionalScheduler

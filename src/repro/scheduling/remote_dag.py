@@ -1,0 +1,170 @@
+"""Remote DAG: the dependency graph of inter-QPU gates (Sec. IV-C, Fig. 3b).
+
+Given a circuit and a placement, keep only the two-qubit gates whose operands
+sit on different QPUs and connect them by the dependency order inherited from
+the full gate DAG (a remote gate depends on another remote gate if there is a
+dependency path between them that passes only through local gates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..circuits import CircuitDAG, QuantumCircuit
+
+
+@dataclass
+class RemoteOperation:
+    """One inter-QPU two-qubit gate awaiting EPR-assisted execution."""
+
+    node_id: int
+    gate_index: int
+    qubits: Tuple[int, int]
+    qpus: Tuple[int, int]
+    predecessors: Set[int] = field(default_factory=set)
+    successors: Set[int] = field(default_factory=set)
+    priority: int = 0
+
+    @property
+    def qpu_pair(self) -> Tuple[int, int]:
+        a, b = self.qpus
+        return (a, b) if a <= b else (b, a)
+
+
+class RemoteDAG:
+    """Dependency DAG over the remote operations of one placed circuit."""
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        mapping: Mapping[int, int],
+        dag: Optional[CircuitDAG] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.mapping = dict(mapping)
+        self.operations: Dict[int, RemoteOperation] = {}
+        self._build(dag or CircuitDAG(circuit))
+        self._assign_priorities()
+
+    def _build(self, dag: CircuitDAG) -> None:
+        remote_gate_indices: List[int] = []
+        for index, gate in enumerate(self.circuit.gates):
+            if not gate.is_two_qubit:
+                continue
+            qpu_a = self.mapping[gate.qubits[0]]
+            qpu_b = self.mapping[gate.qubits[1]]
+            if qpu_a != qpu_b:
+                remote_gate_indices.append(index)
+
+        closure = dag.subgraph_closure(remote_gate_indices)
+        gate_to_node = {
+            gate_index: node_id
+            for node_id, gate_index in enumerate(remote_gate_indices)
+        }
+        for gate_index in remote_gate_indices:
+            node_id = gate_to_node[gate_index]
+            gate = self.circuit.gates[gate_index]
+            operation = RemoteOperation(
+                node_id=node_id,
+                gate_index=gate_index,
+                qubits=(gate.qubits[0], gate.qubits[1]),
+                qpus=(self.mapping[gate.qubits[0]], self.mapping[gate.qubits[1]]),
+            )
+            self.operations[node_id] = operation
+        for gate_index in remote_gate_indices:
+            node_id = gate_to_node[gate_index]
+            for predecessor_gate in closure[gate_index]:
+                predecessor_id = gate_to_node[predecessor_gate]
+                if predecessor_id == node_id:
+                    continue
+                self.operations[node_id].predecessors.add(predecessor_id)
+                self.operations[predecessor_id].successors.add(node_id)
+
+    def _assign_priorities(self) -> None:
+        """Priority p_i = length (in edges) of the longest path to any leaf."""
+        for node_id in reversed(self.topological_order()):
+            operation = self.operations[node_id]
+            if not operation.successors:
+                operation.priority = 0
+            else:
+                operation.priority = 1 + max(
+                    self.operations[s].priority for s in operation.successors
+                )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[RemoteOperation]:
+        return iter(self.operations.values())
+
+    def operation(self, node_id: int) -> RemoteOperation:
+        return self.operations[node_id]
+
+    @property
+    def num_operations(self) -> int:
+        return len(self.operations)
+
+    def topological_order(self) -> List[int]:
+        in_degree = {i: len(op.predecessors) for i, op in self.operations.items()}
+        ready = sorted(i for i, d in in_degree.items() if d == 0)
+        order: List[int] = []
+        index = 0
+        ready_set = list(ready)
+        while ready_set:
+            current = ready_set.pop(0)
+            order.append(current)
+            for successor in sorted(self.operations[current].successors):
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    ready_set.append(successor)
+            index += 1
+        if len(order) != len(self.operations):
+            raise RuntimeError("remote DAG contains a cycle")
+        return order
+
+    def front_layer(self, completed: Set[int]) -> List[int]:
+        """Remote operations whose predecessors have all completed."""
+        return sorted(
+            node_id
+            for node_id, operation in self.operations.items()
+            if node_id not in completed and operation.predecessors <= completed
+        )
+
+    def critical_path_length(self) -> int:
+        """Number of operations on the longest dependency chain."""
+        if not self.operations:
+            return 0
+        return 1 + max(op.priority for op in self.operations.values())
+
+    def qpus_involved(self) -> Set[int]:
+        involved: Set[int] = set()
+        for operation in self.operations.values():
+            involved.update(operation.qpus)
+        return involved
+
+    def operations_on_qpu(self, qpu_id: int) -> List[int]:
+        return sorted(
+            node_id
+            for node_id, operation in self.operations.items()
+            if qpu_id in operation.qpus
+        )
+
+    def to_networkx(self) -> nx.DiGraph:
+        graph = nx.DiGraph()
+        for node_id, operation in self.operations.items():
+            graph.add_node(
+                node_id,
+                gate_index=operation.gate_index,
+                qpus=operation.qpus,
+                priority=operation.priority,
+            )
+        for node_id, operation in self.operations.items():
+            for successor in operation.successors:
+                graph.add_edge(node_id, successor)
+        return graph

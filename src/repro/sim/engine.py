@@ -1,0 +1,146 @@
+"""A small heap-based discrete-event simulation engine.
+
+The multi-tenant cluster simulator schedules job arrivals, placement decisions
+and job completions as timestamped events; this engine provides the event loop
+they share.  It is deliberately minimal (no processes or coroutines): events
+are callbacks executed in timestamp order, ties broken by insertion order so
+runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the event loop is used inconsistently."""
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time: float
+    sequence: int
+    callback: Callable[["EventLoop"], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventLoop.schedule`, usable for cancellation."""
+
+    def __init__(self, event: _QueuedEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class EventLoop:
+    """Deterministic discrete-event loop."""
+
+    def __init__(self) -> None:
+        self._queue: List[_QueuedEvent] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.processed_events = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[["EventLoop"], None],
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError("cannot schedule an event in the past")
+        event = _QueuedEvent(
+            time=self._now + delay,
+            sequence=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[["EventLoop"], None],
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        return self.schedule(time - self._now, callback, label=label)
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next pending event, or ``None`` when empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.processed_events += 1
+            event.callback(self)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or the cap hits.
+
+        Returns the final simulation time.
+        """
+        if self._running:
+            raise SimulationError("event loop is already running")
+        self._running = True
+        try:
+            executed = 0
+            while True:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded the maximum of {max_events} events"
+                    )
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        return self._now
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled pending events."""
+        return sum(1 for event in self._queue if not event.cancelled)

@@ -1,0 +1,269 @@
+"""Round-based execution of placed circuits over the quantum network.
+
+The executor models what the paper's customised discrete-event simulator
+measures: job completion time under a network-scheduling policy, probabilistic
+EPR generation, and limited communication qubits.
+
+Model
+-----
+Time advances in *EPR rounds* of one EPR-preparation latency (Table I).  Every
+round the scheduler divides each QPU's communication qubits among the remote
+operations in the combined front layer of all active jobs.  An operation that
+receives ``x`` pairs succeeds that round with probability ``1 - (1 - p)^x``
+(``p`` is the end-to-end success probability over the shortest path); on
+success it finishes after the local gate + measurement tail and unlocks its
+successors for the next round.  A job completes when all its remote operations
+are done and its local critical path has elapsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..cloud import QuantumCloud
+from ..network import EPRModel
+from ..scheduling import AllocationRequest, NetworkScheduler, RemoteDAG
+from .latency import DEFAULT_LATENCY, LatencyModel
+
+
+class ExecutionError(RuntimeError):
+    """Raised when the executor cannot make progress."""
+
+
+@dataclass
+class ScheduledJob:
+    """A placed circuit ready for network execution."""
+
+    job_id: str
+    circuit: QuantumCircuit
+    mapping: Mapping[int, int]
+    start_time: float = 0.0
+
+
+@dataclass
+class JobExecutionResult:
+    """Per-job outcome of a network execution."""
+
+    job_id: str
+    start_time: float
+    completion_time: float
+    num_remote_operations: int
+    epr_rounds: int
+    local_time: float
+
+    @property
+    def makespan(self) -> float:
+        """Time from the job's (remote) start to its completion."""
+        return self.completion_time - self.start_time
+
+
+@dataclass
+class _JobState:
+    job: ScheduledJob
+    remote_dag: RemoteDAG
+    local_time: float
+    pending_predecessors: Dict[int, int] = field(default_factory=dict)
+    ready: List[int] = field(default_factory=list)
+    completed: int = 0
+    last_finish: float = 0.0
+    rounds: int = 0
+    done: bool = False
+
+    def __post_init__(self) -> None:
+        for node_id, operation in self.remote_dag.operations.items():
+            self.pending_predecessors[node_id] = len(operation.predecessors)
+        self.ready = sorted(
+            node_id
+            for node_id, count in self.pending_predecessors.items()
+            if count == 0
+        )
+        self.last_finish = self.job.start_time
+
+    @property
+    def total_operations(self) -> int:
+        return self.remote_dag.num_operations
+
+    def finish_operation(self, node_id: int, finish_time: float) -> None:
+        self.completed += 1
+        self.last_finish = max(self.last_finish, finish_time)
+        self.ready.remove(node_id)
+        for successor in self.remote_dag.operation(node_id).successors:
+            self.pending_predecessors[successor] -= 1
+            if self.pending_predecessors[successor] == 0:
+                self.ready.append(successor)
+        self.ready.sort()
+
+
+def local_execution_time(
+    circuit: QuantumCircuit, latency: LatencyModel = DEFAULT_LATENCY
+) -> float:
+    """Critical-path latency of the circuit if every gate were local."""
+    ready: Dict[int, float] = {q: 0.0 for q in range(circuit.num_qubits)}
+    for gate in circuit.gates:
+        start = max(ready[q] for q in gate.qubits)
+        finish = start + latency.gate_latency(gate)
+        for q in gate.qubits:
+            ready[q] = finish
+    return max(ready.values(), default=0.0)
+
+
+class NetworkExecutor:
+    """Simulates remote-gate execution of one or many placed jobs."""
+
+    def __init__(
+        self,
+        cloud: QuantumCloud,
+        scheduler: NetworkScheduler,
+        latency: LatencyModel = DEFAULT_LATENCY,
+        epr_success_probability: Optional[float] = None,
+        max_rounds: int = 5_000_000,
+    ) -> None:
+        self.cloud = cloud
+        self.scheduler = scheduler
+        self.latency = latency
+        probability = (
+            cloud.epr_success_probability
+            if epr_success_probability is None
+            else epr_success_probability
+        )
+        self.epr_model = EPRModel(cloud.topology, probability)
+        self.max_rounds = max_rounds
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        jobs: Sequence[ScheduledJob],
+        seed: Optional[int] = None,
+    ) -> Dict[str, JobExecutionResult]:
+        """Run all ``jobs`` to completion and return per-job results."""
+        rng = np.random.default_rng(seed)
+        states = {
+            job.job_id: _JobState(
+                job=job,
+                remote_dag=RemoteDAG(job.circuit, job.mapping),
+                local_time=local_execution_time(job.circuit, self.latency),
+            )
+            for job in jobs
+        }
+        results: Dict[str, JobExecutionResult] = {}
+
+        # Jobs without remote operations finish after their local critical path.
+        for state in states.values():
+            if state.total_operations == 0:
+                state.done = True
+                results[state.job.job_id] = self._result(state, rounds=0)
+
+        time = min((s.job.start_time for s in states.values()), default=0.0)
+        total_rounds = 0
+
+        while any(not state.done for state in states.values()):
+            active = [
+                state
+                for state in states.values()
+                if not state.done and state.job.start_time <= time and state.ready
+            ]
+            if not active:
+                # Jump to the next job start time if nothing is runnable yet.
+                upcoming = [
+                    state.job.start_time
+                    for state in states.values()
+                    if not state.done and state.job.start_time > time
+                ]
+                if not upcoming:
+                    raise ExecutionError(
+                        "no runnable remote operations but unfinished jobs remain"
+                    )
+                time = min(upcoming)
+                continue
+
+            requests = self._build_requests(active)
+            capacity = {
+                qpu_id: self.cloud.qpu(qpu_id).communication_capacity
+                for qpu_id in self.cloud.qpu_ids
+            }
+            allocation = self.scheduler.allocate(requests, capacity, rng=rng)
+
+            round_end = time + self.latency.epr_preparation
+            completion_tail = self.latency.two_qubit_gate + self.latency.measurement
+            for request in requests:
+                granted = allocation.get(request.op_id, 0)
+                if granted <= 0:
+                    continue
+                job_id, node_id = request.op_id
+                success = self.epr_model.sample_round(
+                    request.qpu_a, request.qpu_b, granted, rng
+                )
+                if success:
+                    finish = round_end + completion_tail
+                    states[job_id].finish_operation(node_id, finish)
+
+            for state in active:
+                state.rounds += 1
+                if not state.done and state.completed == state.total_operations:
+                    state.done = True
+                    results[state.job.job_id] = self._result(state, rounds=state.rounds)
+
+            time = round_end
+            total_rounds += 1
+            if total_rounds > self.max_rounds:
+                raise ExecutionError(
+                    f"execution exceeded {self.max_rounds} EPR rounds; "
+                    "check communication capacities"
+                )
+
+        return results
+
+    def execute_single(
+        self,
+        circuit: QuantumCircuit,
+        mapping: Mapping[int, int],
+        seed: Optional[int] = None,
+        job_id: str = "job-0",
+    ) -> JobExecutionResult:
+        """Convenience wrapper for single-job experiments (Sec. VI-C)."""
+        job = ScheduledJob(job_id=job_id, circuit=circuit, mapping=mapping)
+        return self.execute([job], seed=seed)[job_id]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _build_requests(self, active: Sequence[_JobState]) -> List[AllocationRequest]:
+        requests: List[AllocationRequest] = []
+        for state in active:
+            for node_id in state.ready:
+                operation = state.remote_dag.operation(node_id)
+                requests.append(
+                    AllocationRequest(
+                        op_id=(state.job.job_id, node_id),
+                        qpu_a=operation.qpus[0],
+                        qpu_b=operation.qpus[1],
+                        priority=operation.priority,
+                    )
+                )
+        return requests
+
+    def _result(self, state: _JobState, rounds: int) -> JobExecutionResult:
+        start = state.job.start_time
+        remote_finish = state.last_finish
+        completion = max(start + state.local_time, remote_finish)
+        return JobExecutionResult(
+            job_id=state.job.job_id,
+            start_time=start,
+            completion_time=completion,
+            num_remote_operations=state.total_operations,
+            epr_rounds=rounds,
+            local_time=state.local_time,
+        )
+
+
+def mean_completion_time(results: Mapping[str, JobExecutionResult]) -> float:
+    """Mean completion time across jobs (the figures' y-axis)."""
+    if not results:
+        return 0.0
+    return float(np.mean([r.completion_time - r.start_time for r in results.values()]))

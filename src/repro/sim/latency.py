@@ -1,0 +1,86 @@
+"""Operation latency model (Table I of the paper).
+
+All durations are expressed in units of one CX gate time:
+
+=====================  ==========
+Operation              Latency
+=====================  ==========
+Single-qubit gate      ~0.1 CX
+CX / CZ gate           1 CX
+Measurement            ~5 CX
+EPR pair preparation   ~10 CX
+=====================  ==========
+
+A remote gate consumes one (or more) EPR generation attempts, a local
+two-qubit gate, and a measurement for the classical correction, so its
+*expected* latency at success probability ``p`` is
+``(attempts needed) * t_ep + t_2q + t_ms`` with geometric attempts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits import Gate, GateKind
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Durations of the primitive operations, in CX-gate units (Table I)."""
+
+    single_qubit_gate: float = 0.1
+    two_qubit_gate: float = 1.0
+    measurement: float = 5.0
+    epr_preparation: float = 10.0
+
+    def gate_latency(self, gate: Gate) -> float:
+        """Latency of a *local* gate."""
+        kind = gate.kind
+        if kind is GateKind.TWO_QUBIT:
+            return self.two_qubit_gate
+        if kind is GateKind.MEASUREMENT:
+            return self.measurement
+        if kind is GateKind.BARRIER:
+            return 0.0
+        return self.single_qubit_gate
+
+    def remote_gate_latency(self, epr_attempts: int = 1, hops: int = 1) -> float:
+        """Latency of a remote two-qubit gate.
+
+        ``epr_attempts`` rounds of EPR preparation (the attempts of the final,
+        successful round are concurrent, so each round costs one preparation
+        time), followed by the local gate and the measurement used for the
+        teleported-gate correction.  Multi-hop links pay one preparation per
+        hop in series (entanglement swapping).
+        """
+        if epr_attempts < 1:
+            raise ValueError("a remote gate needs at least one EPR attempt round")
+        if hops < 1:
+            raise ValueError("a remote gate spans at least one hop")
+        return (
+            epr_attempts * hops * self.epr_preparation
+            + self.two_qubit_gate
+            + self.measurement
+        )
+
+    def expected_remote_gate_latency(
+        self, success_probability: float, parallel_attempts: int = 1, hops: int = 1
+    ) -> float:
+        """Expected remote-gate latency when each round fires ``parallel_attempts``.
+
+        A round succeeds with probability ``1 - (1 - p)^parallel_attempts``;
+        the number of rounds is geometric, so its expectation is the inverse.
+        """
+        if not 0.0 < success_probability <= 1.0:
+            raise ValueError("success probability must lie in (0, 1]")
+        if parallel_attempts < 1:
+            raise ValueError("at least one parallel attempt per round is required")
+        round_success = 1.0 - (1.0 - success_probability) ** parallel_attempts
+        expected_rounds = 1.0 / round_success
+        return self.remote_gate_latency(hops=hops) + (
+            expected_rounds - 1.0
+        ) * hops * self.epr_preparation
+
+
+#: Default latency model with exactly the Table I constants.
+DEFAULT_LATENCY = LatencyModel()

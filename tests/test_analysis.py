@@ -1,0 +1,127 @@
+"""Tests for the experiment runners and table formatting used by the benchmarks."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    default_cloud,
+    default_placement_algorithms,
+    default_schedulers,
+    format_cdf_summary,
+    format_series,
+    format_table,
+    multitenant_jct_distribution,
+    multitenant_methods,
+    scheduling_comparison,
+    single_circuit_placement,
+    sweep_communication_qubits,
+    sweep_computing_qubits,
+    sweep_epr_probability,
+)
+from repro.placement import CloudQCPlacement, RandomPlacement
+
+
+class TestDefaults:
+    def test_default_cloud_shape(self):
+        cloud = default_cloud(seed=1)
+        assert cloud.num_qpus == 20
+        assert cloud.qpu(0).computing_capacity == 20
+
+    def test_default_algorithms_and_schedulers(self):
+        assert set(default_placement_algorithms()) == {
+            "SA",
+            "Random",
+            "GA",
+            "CloudQC-BFS",
+            "CloudQC",
+        }
+        assert set(default_schedulers()) == {"CloudQC", "Average", "Random", "Greedy"}
+
+
+class TestSingleCircuitRunner:
+    def test_table_rows_and_columns(self):
+        algorithms = {"CloudQC": CloudQCPlacement(), "Random": RandomPlacement()}
+        table = single_circuit_placement(
+            ["ising_n34", "cat_n65"], algorithms, cloud=default_cloud(seed=1)
+        )
+        assert set(table) == {"ising_n34", "cat_n65"}
+        assert set(table["ising_n34"]) == {"CloudQC", "Random"}
+        assert table["ising_n34"]["CloudQC"] <= table["ising_n34"]["Random"]
+
+    def test_communication_cost_metric(self):
+        algorithms = {"CloudQC": CloudQCPlacement()}
+        table = single_circuit_placement(
+            ["ising_n34"], algorithms, cloud=default_cloud(seed=1),
+            metric="communication_cost",
+        )
+        assert table["ising_n34"]["CloudQC"] >= 0
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            single_circuit_placement(
+                ["ising_n34"], {"CloudQC": CloudQCPlacement()}, metric="bogus"
+            )
+
+    def test_computing_qubit_sweep_marks_infeasible_points(self):
+        algorithms = {"CloudQC": CloudQCPlacement()}
+        series = sweep_computing_qubits(
+            "cat_n65", qubit_counts=(3, 10), algorithms=algorithms, seed=1
+        )
+        assert math.isnan(series["CloudQC"][0])
+        assert not math.isnan(series["CloudQC"][1])
+
+
+class TestSchedulingRunners:
+    def test_scheduling_comparison_row(self):
+        table = scheduling_comparison(
+            ["ising_n66"], repetitions=1, cloud=default_cloud(seed=1)
+        )
+        row = table["ising_n66"]
+        assert set(row) == {"CloudQC", "Average", "Random", "Greedy"}
+        assert all(value > 0 for value in row.values())
+
+    def test_comm_qubit_sweep_monotone_trend(self):
+        series = sweep_communication_qubits(
+            "ising_n66", communication_counts=(1, 8), repetitions=2, seed=1
+        )
+        for values in series.values():
+            assert values[1] <= values[0]
+
+    def test_epr_probability_sweep_monotone_trend(self):
+        series = sweep_epr_probability(
+            "ising_n66", probabilities=(0.1, 0.9), repetitions=2, seed=1
+        )
+        for values in series.values():
+            assert values[1] <= values[0]
+
+
+class TestMultitenantRunner:
+    def test_distribution_has_all_methods(self):
+        distribution = multitenant_jct_distribution(
+            "qugan", num_batches=1, batch_size=3, seed=1, cloud=default_cloud(seed=1)
+        )
+        assert set(distribution) == {"CloudQC", "CloudQC-BFS", "CloudQC-FIFO"}
+        assert all(len(times) == 3 for times in distribution.values())
+
+    def test_methods_definition(self):
+        methods = multitenant_methods()
+        assert methods["CloudQC-FIFO"]["batch_manager"].config.mode.value == "fifo"
+
+
+class TestFormatting:
+    def test_format_table_contains_values(self):
+        text = format_table({"row": {"a": 1.0, "b": 2.5}}, ["a", "b"])
+        assert "row" in text and "1.0" in text and "2.5" in text
+
+    def test_format_table_missing_cell_is_nan(self):
+        text = format_table({"row": {"a": 1.0}}, ["a", "b"])
+        assert "nan" in text
+
+    def test_format_series(self):
+        text = format_series({"m": [1.0, 2.0]}, x_values=[5, 10], x_label="qubits")
+        assert "qubits=5" in text and "qubits=10" in text
+
+    def test_format_cdf_summary(self):
+        text = format_cdf_summary({"CloudQC": [1.0, 2.0, 3.0]}, percentiles=(50,))
+        assert "CloudQC" in text and "p50" in text and "mean" in text

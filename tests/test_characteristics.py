@@ -1,0 +1,46 @@
+"""Tests for the Table II characteristics data and the characterise helper."""
+
+import pytest
+
+from repro.circuits import PAPER_CHARACTERISTICS, characterize
+from repro.circuits.library import get_circuit
+
+
+class TestPaperTable:
+    def test_all_21_circuits_listed(self):
+        assert len(PAPER_CHARACTERISTICS) == 21
+
+    def test_qubit_counts_follow_names(self):
+        for name, record in PAPER_CHARACTERISTICS.items():
+            assert record.num_qubits == int(name.rpartition("_n")[2])
+
+    def test_known_rows(self):
+        assert PAPER_CHARACTERISTICS["qft_n160"].num_two_qubit_gates == 25440
+        assert PAPER_CHARACTERISTICS["multiplier_n45"].depth == 462
+        assert PAPER_CHARACTERISTICS["ghz_n127"].num_two_qubit_gates == 126
+
+
+class TestCharacterize:
+    def test_characterize_matches_circuit_properties(self, bell_circuit):
+        record = characterize(bell_circuit)
+        assert record.num_qubits == 2
+        assert record.num_two_qubit_gates == 1
+        assert record.depth == 2
+        assert record.name == "bell"
+
+    @pytest.mark.parametrize(
+        "name", ["ghz_n127", "cat_n65", "ising_n34", "cc_n64", "knn_n67"]
+    )
+    def test_generated_circuits_match_paper_counts_exactly(self, name):
+        generated = characterize(get_circuit(name))
+        paper = PAPER_CHARACTERISTICS[name]
+        assert generated.num_qubits == paper.num_qubits
+        assert generated.num_two_qubit_gates == paper.num_two_qubit_gates
+
+    @pytest.mark.parametrize("name", ["qugan_n71", "qugan_n111", "adder_n64"])
+    def test_generated_circuits_match_paper_counts_approximately(self, name):
+        generated = characterize(get_circuit(name))
+        paper = PAPER_CHARACTERISTICS[name]
+        assert generated.num_qubits == paper.num_qubits
+        ratio = generated.num_two_qubit_gates / paper.num_two_qubit_gates
+        assert 0.8 <= ratio <= 1.2

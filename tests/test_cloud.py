@@ -1,0 +1,105 @@
+"""Tests for the QuantumCloud resource manager."""
+
+import pytest
+
+from repro.cloud import CloudTopology, PlacementError, QuantumCloud
+
+
+class TestConstruction:
+    def test_default_cloud_matches_paper_setting(self):
+        cloud = QuantumCloud.default(seed=1)
+        assert cloud.num_qpus == 20
+        assert cloud.total_computing_capacity() == 400
+        assert cloud.total_communication_capacity() == 100
+        assert cloud.epr_success_probability == 0.3
+
+    def test_invalid_epr_probability(self):
+        with pytest.raises(ValueError):
+            QuantumCloud(CloudTopology.line(2), epr_success_probability=0.0)
+
+    def test_custom_qpus_must_cover_topology(self):
+        from repro.cloud import QPU
+
+        topology = CloudTopology.line(3)
+        with pytest.raises(ValueError):
+            QuantumCloud(topology, qpus={0: QPU(0), 1: QPU(1)})
+
+
+class TestCapacityQueries:
+    def test_available_and_remaining(self, small_cloud):
+        assert small_cloud.total_computing_available() == 16
+        assert small_cloud.remaining_qubits() == 16
+        assert small_cloud.min_available_computing() == 4
+        assert small_cloud.max_available_computing() == 4
+        assert small_cloud.utilization() == 0.0
+
+    def test_fits_anywhere_prefers_tightest_fit(self):
+        topology = CloudTopology.line(3)
+        cloud = QuantumCloud(topology, computing_qubits_per_qpu=10)
+        cloud.admit("job-x", {0: 0, 1: 0, 2: 0, 3: 0})  # QPU0 now has 6 free
+        assert cloud.fits_anywhere(5) == 0  # tightest fit is the partially used QPU
+        assert cloud.fits_anywhere(8) in (1, 2)
+        assert cloud.fits_anywhere(100) is None
+
+    def test_can_fit(self, small_cloud):
+        assert small_cloud.can_fit({0: 4, 1: 2})
+        assert not small_cloud.can_fit({0: 5})
+
+    def test_distance_delegates_to_topology(self, small_cloud):
+        assert small_cloud.distance(0, 3) == 3
+
+
+class TestAdmission:
+    def test_admit_reserves_resources(self, small_cloud):
+        small_cloud.admit("job-a", {0: 0, 1: 0, 2: 1})
+        assert small_cloud.qpu(0).computing_available == 2
+        assert small_cloud.qpu(1).computing_available == 3
+        assert small_cloud.active_jobs() == ["job-a"]
+
+    def test_admit_rejects_unknown_qpu(self, small_cloud):
+        with pytest.raises(PlacementError):
+            small_cloud.admit("job-a", {0: 99})
+
+    def test_admit_is_atomic(self, small_cloud):
+        # Demand on QPU 0 exceeds capacity; nothing should be reserved.
+        with pytest.raises(PlacementError):
+            small_cloud.admit("job-a", {q: 0 for q in range(5)})
+        assert small_cloud.qpu(0).computing_available == 4
+
+    def test_release_frees_resources(self, small_cloud):
+        small_cloud.admit("job-a", {0: 0, 1: 1})
+        freed = small_cloud.release("job-a")
+        assert freed == 2
+        assert small_cloud.total_computing_available() == 16
+        assert small_cloud.active_jobs() == []
+
+    def test_multiple_tenants_share_qpus(self, small_cloud):
+        small_cloud.admit("job-a", {0: 0, 1: 0})
+        small_cloud.admit("job-b", {0: 0, 1: 1})
+        assert small_cloud.qpu(0).computing_available == 1
+        assert sorted(small_cloud.active_jobs()) == ["job-a", "job-b"]
+
+    def test_utilization_after_admission(self, small_cloud):
+        small_cloud.admit("job-a", {q: 0 for q in range(4)})
+        assert small_cloud.utilization() == pytest.approx(4 / 16)
+
+
+class TestGraphViews:
+    def test_resource_graph_annotations(self, small_cloud):
+        small_cloud.admit("job-a", {0: 0, 1: 0})
+        graph = small_cloud.resource_graph()
+        assert graph.nodes[0]["available"] == 2
+        assert graph.nodes[3]["available"] == 4
+        # Edge weight reflects endpoint availability.
+        assert graph[0][1]["weight"] == pytest.approx(1.0 + 2 + 4)
+
+    def test_clone_empty_resets_allocations(self, small_cloud):
+        small_cloud.admit("job-a", {0: 0})
+        clone = small_cloud.clone_empty()
+        assert clone.total_computing_available() == 16
+        assert small_cloud.total_computing_available() == 15
+        assert clone.topology is small_cloud.topology
+
+    def test_snapshot_has_all_qpus(self, small_cloud):
+        snapshot = small_cloud.snapshot()
+        assert set(snapshot) == {0, 1, 2, 3}

@@ -1,0 +1,106 @@
+"""Tests for the multi-tenant cluster simulator."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.library import get_circuit, ghz, ising
+from repro.cloud import CloudTopology, QuantumCloud
+from repro.multitenant import (
+    ClusterSimulationError,
+    MultiTenantSimulator,
+    fifo_batch_manager,
+    priority_batch_manager,
+)
+from repro.placement import CloudQCPlacement
+from repro.scheduling import CloudQCScheduler
+
+
+def make_simulator(cloud, batch_manager=None):
+    return MultiTenantSimulator(
+        cloud,
+        placement_algorithm=CloudQCPlacement(),
+        network_scheduler=CloudQCScheduler(),
+        batch_manager=batch_manager or priority_batch_manager(),
+    )
+
+
+class TestBatchExecution:
+    def test_all_jobs_complete(self, default_cloud):
+        circuits = [ghz(24), ising(34), get_circuit("qft_n29"), ghz(16)]
+        results = make_simulator(default_cloud).run_batch(circuits, seed=1)
+        assert len(results) == 4
+        assert all(r.completion_time > 0 for r in results)
+        assert all(r.job_completion_time >= 0 for r in results)
+
+    def test_template_cloud_is_not_mutated(self, default_cloud):
+        circuits = [ghz(24), ising(34)]
+        make_simulator(default_cloud).run_batch(circuits, seed=1)
+        assert default_cloud.total_computing_available() == 400
+
+    def test_empty_batch(self, default_cloud):
+        assert make_simulator(default_cloud).run_batch([], seed=1) == []
+
+    def test_oversized_circuit_rejected(self):
+        topology = CloudTopology.line(2)
+        cloud = QuantumCloud(topology, computing_qubits_per_qpu=4)
+        with pytest.raises(ClusterSimulationError):
+            make_simulator(cloud).run_batch([ghz(16)], seed=1)
+
+    def test_results_are_seeded(self, default_cloud):
+        circuits = [ghz(24), ising(34), ghz(16)]
+        a = make_simulator(default_cloud).run_batch(circuits, seed=4)
+        b = make_simulator(default_cloud).run_batch(circuits, seed=4)
+        assert [r.completion_time for r in a] == [r.completion_time for r in b]
+
+    def test_contention_slows_jobs_down(self):
+        # A cloud that can run one 24-qubit job at a time: two identical jobs
+        # must serialise, so the second one's JCT includes queueing delay.
+        topology = CloudTopology.line(2)
+        cloud = QuantumCloud(
+            topology,
+            computing_qubits_per_qpu=16,
+            communication_qubits_per_qpu=2,
+            epr_success_probability=1.0,
+        )
+        circuits = [ghz(24), ghz(24)]
+        results = make_simulator(cloud).run_batch(circuits, seed=1)
+        delays = sorted(r.queueing_delay for r in results)
+        assert delays[0] == 0.0
+        assert delays[1] > 0.0
+
+    def test_local_only_jobs_have_no_remote_operations(self, default_cloud):
+        results = make_simulator(default_cloud).run_batch([ghz(8), ghz(10)], seed=1)
+        assert all(r.num_remote_operations == 0 for r in results)
+        assert all(r.num_qpus_used == 1 for r in results)
+
+
+class TestArrivalTimes:
+    def test_incoming_job_mode_respects_arrivals(self, default_cloud):
+        circuits = [ghz(16), ghz(16)]
+        results = make_simulator(default_cloud, fifo_batch_manager()).run_batch(
+            circuits, seed=1, arrival_times=[0.0, 500.0]
+        )
+        by_arrival = sorted(results, key=lambda r: r.arrival_time)
+        assert by_arrival[1].placement_time >= 500.0
+
+    def test_arrival_times_length_mismatch(self, default_cloud):
+        with pytest.raises(ValueError):
+            make_simulator(default_cloud).run_batch(
+                [ghz(8)], seed=1, arrival_times=[0.0, 1.0]
+            )
+
+
+class TestBatchOrderingEffects:
+    def test_priority_and_fifo_both_finish_everything(self, default_cloud):
+        circuits = [get_circuit("qft_n29"), ising(66), ghz(32), ising(34)]
+        priority_results = make_simulator(default_cloud).run_batch(circuits, seed=2)
+        fifo_results = make_simulator(default_cloud, fifo_batch_manager()).run_batch(
+            circuits, seed=2
+        )
+        assert len(priority_results) == len(fifo_results) == 4
+
+    def test_run_batches_pools_results(self, default_cloud):
+        simulator = make_simulator(default_cloud)
+        batches = [[ghz(16), ising(34)], [ghz(24)]]
+        results = simulator.run_batches(batches, seed=3)
+        assert len(results) == 3

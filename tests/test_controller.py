@@ -1,0 +1,84 @@
+"""Tests for the cloud controller."""
+
+import pytest
+
+from repro.cloud import Controller, JobStatus, PlacementError
+
+
+class TestSubmission:
+    def test_submit_registers_job(self, small_cloud, bell_circuit):
+        controller = Controller(small_cloud)
+        job = controller.submit(bell_circuit, arrival_time=5.0)
+        assert controller.job(job.job_id) is job
+        assert controller.pending_jobs() == [job]
+
+    def test_unknown_job_lookup_returns_none(self, small_cloud):
+        controller = Controller(small_cloud)
+        assert controller.job("missing") is None
+
+
+class TestPlacementLifecycle:
+    def test_place_reserves_cloud_resources(self, small_cloud, bell_circuit):
+        controller = Controller(small_cloud)
+        job = controller.submit(bell_circuit)
+        controller.place(job, {0: 0, 1: 1})
+        assert job.status is JobStatus.PLACED
+        assert small_cloud.qpu(0).computing_available == 3
+        assert controller.running_jobs() == [job]
+
+    def test_place_unknown_job_raises(self, small_cloud, bell_circuit):
+        controller = Controller(small_cloud)
+        from repro.cloud import Job
+
+        rogue = Job(circuit=bell_circuit)
+        with pytest.raises(KeyError):
+            controller.place(rogue, {0: 0, 1: 1})
+
+    def test_double_place_rejected(self, small_cloud, bell_circuit):
+        controller = Controller(small_cloud)
+        job = controller.submit(bell_circuit)
+        controller.place(job, {0: 0, 1: 1})
+        with pytest.raises(PlacementError):
+            controller.place(job, {0: 2, 1: 3})
+
+    def test_place_with_policy(self, small_cloud, bell_circuit):
+        controller = Controller(small_cloud)
+        job = controller.submit(bell_circuit)
+
+        def policy(circuit, cloud):
+            return {q: 0 for q in range(circuit.num_qubits)}
+
+        mapping = controller.place_with_policy(job, policy)
+        assert mapping == {0: 0, 1: 0}
+        assert small_cloud.qpu(0).computing_available == 2
+
+    def test_start_requires_placed(self, small_cloud, bell_circuit):
+        controller = Controller(small_cloud)
+        job = controller.submit(bell_circuit)
+        with pytest.raises(PlacementError):
+            controller.start(job, 0.0)
+
+    def test_complete_releases_resources(self, small_cloud, bell_circuit):
+        controller = Controller(small_cloud)
+        job = controller.submit(bell_circuit, arrival_time=0.0)
+        controller.place(job, {0: 0, 1: 1})
+        controller.start(job, 1.0)
+        controller.complete(job, 9.0)
+        assert job.status is JobStatus.COMPLETED
+        assert small_cloud.total_computing_available() == 16
+        assert controller.completed_jobs() == [job]
+
+    def test_fail_releases_resources(self, small_cloud, bell_circuit):
+        controller = Controller(small_cloud)
+        job = controller.submit(bell_circuit)
+        controller.place(job, {0: 0, 1: 0})
+        controller.fail(job)
+        assert job.status is JobStatus.FAILED
+        assert small_cloud.total_computing_available() == 16
+
+    def test_cloud_status_reports_all_qpus(self, small_cloud, bell_circuit):
+        controller = Controller(small_cloud)
+        job = controller.submit(bell_circuit)
+        controller.place(job, {0: 2, 1: 2})
+        status = controller.cloud_status()
+        assert status[2]["computing_used"] == 2

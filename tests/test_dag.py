@@ -1,0 +1,107 @@
+"""Tests for the circuit dependency DAG and front-layer logic."""
+
+import pytest
+
+from repro.circuits import CircuitDAG, QuantumCircuit
+
+
+class TestDagStructure:
+    def test_chain_dependencies(self, bell_circuit):
+        dag = CircuitDAG(bell_circuit)
+        assert dag.predecessors(1) == {0}
+        assert dag.successors(0) == {1}
+
+    def test_independent_gates_have_no_edges(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.h(1)
+        dag = CircuitDAG(circuit)
+        assert dag.predecessors(0) == set()
+        assert dag.predecessors(1) == set()
+
+    def test_node_count_matches_gates(self, vqe_like_circuit):
+        assert len(CircuitDAG(vqe_like_circuit)) == vqe_like_circuit.num_gates
+
+    def test_two_qubit_gate_depends_on_both_operands(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)          # 0
+        circuit.h(1)          # 1
+        circuit.cx(0, 1)      # 2
+        dag = CircuitDAG(circuit)
+        assert dag.predecessors(2) == {0, 1}
+
+
+class TestFrontLayer:
+    def test_initial_front_layer_fig1(self, vqe_like_circuit):
+        # The first three H gates (on q0, q2, q3) have no predecessors.
+        dag = CircuitDAG(vqe_like_circuit)
+        front = dag.front_layer()
+        front_gates = {dag.gate(i).qubits for i in front}
+        assert (0,) in front_gates and (2,) in front_gates and (3,) in front_gates
+
+    def test_front_layer_advances_with_execution(self, bell_circuit):
+        dag = CircuitDAG(bell_circuit)
+        assert dag.front_layer() == [0]
+        assert dag.front_layer(executed=[0]) == [1]
+        assert dag.front_layer(executed=[0, 1]) == []
+
+
+class TestOrdering:
+    def test_topological_order_respects_dependencies(self, vqe_like_circuit):
+        dag = CircuitDAG(vqe_like_circuit)
+        order = dag.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for node in dag:
+            for pred in node.predecessors:
+                assert position[pred] < position[node.index]
+
+    def test_layers_cover_all_gates(self, vqe_like_circuit):
+        dag = CircuitDAG(vqe_like_circuit)
+        layers = dag.layers()
+        flattened = [g for layer in layers for g in layer]
+        assert sorted(flattened) == list(range(vqe_like_circuit.num_gates))
+
+    def test_longest_path_equals_depth(self, chain_circuit):
+        dag = CircuitDAG(chain_circuit)
+        assert dag.longest_path_length() == chain_circuit.depth()
+
+    def test_critical_path_is_a_dependency_chain(self, chain_circuit):
+        dag = CircuitDAG(chain_circuit)
+        path = dag.critical_path()
+        assert len(path) == dag.longest_path_length()
+        for earlier, later in zip(path, path[1:]):
+            assert later in dag.successors(earlier)
+
+
+class TestClosure:
+    def test_closure_skips_local_intermediates(self):
+        # cx(0,1) -> h(1) -> cx(1,2): the two CX gates are transitively ordered.
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)   # 0
+        circuit.h(1)       # 1
+        circuit.cx(1, 2)   # 2
+        dag = CircuitDAG(circuit)
+        closure = dag.subgraph_closure([0, 2])
+        assert closure[2] == {0}
+        assert closure[0] == set()
+
+    def test_closure_of_independent_gates_is_empty(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        dag = CircuitDAG(circuit)
+        closure = dag.subgraph_closure([0, 1])
+        assert closure[0] == set()
+        assert closure[1] == set()
+
+    def test_to_networkx_is_acyclic(self, vqe_like_circuit):
+        import networkx as nx
+
+        graph = CircuitDAG(vqe_like_circuit).to_networkx()
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_two_qubit_nodes(self, vqe_like_circuit):
+        dag = CircuitDAG(vqe_like_circuit)
+        nodes = dag.two_qubit_nodes()
+        assert all(dag.gate(i).is_two_qubit for i in nodes)
+        assert len(nodes) == vqe_like_circuit.num_two_qubit_gates

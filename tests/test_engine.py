@@ -1,0 +1,112 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import EventLoop, SimulationError
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(5.0, lambda env: order.append("late"))
+        loop.schedule(1.0, lambda env: order.append("early"))
+        loop.run()
+        assert order == ["early", "late"]
+
+    def test_ties_broken_by_insertion_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda env: order.append("first"))
+        loop.schedule(1.0, lambda env: order.append("second"))
+        loop.run()
+        assert order == ["first", "second"]
+
+    def test_now_advances_to_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(3.5, lambda env: seen.append(env.now))
+        final = loop.run()
+        assert seen == [3.5]
+        assert final == 3.5
+
+    def test_schedule_at_absolute_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(2.0, lambda env: seen.append(env.now))
+        loop.run()
+        assert seen == [2.0]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule(-1.0, lambda env: None)
+
+    def test_schedule_in_the_past_rejected(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda env: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.schedule_at(1.0, lambda env: None)
+
+    def test_events_can_schedule_more_events(self):
+        loop = EventLoop()
+        times = []
+
+        def chain(env):
+            times.append(env.now)
+            if len(times) < 3:
+                env.schedule(1.0, chain)
+
+        loop.schedule(1.0, chain)
+        loop.run()
+        assert times == [1.0, 2.0, 3.0]
+
+
+class TestControl:
+    def test_run_until_stops_early(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda env: seen.append(1))
+        loop.schedule(10.0, lambda env: seen.append(10))
+        loop.run(until=5.0)
+        assert seen == [1]
+        assert loop.now == 5.0
+        assert loop.pending() == 1
+
+    def test_cancelled_events_do_not_run(self):
+        loop = EventLoop()
+        seen = []
+        handle = loop.schedule(1.0, lambda env: seen.append("cancelled"))
+        loop.schedule(2.0, lambda env: seen.append("kept"))
+        handle.cancel()
+        loop.run()
+        assert seen == ["kept"]
+        assert handle.cancelled
+
+    def test_step_returns_false_when_empty(self):
+        assert EventLoop().step() is False
+
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def forever(env):
+            env.schedule(1.0, forever)
+
+        loop.schedule(1.0, forever)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=10)
+
+    def test_peek_skips_cancelled(self):
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda env: None)
+        loop.schedule(2.0, lambda env: None)
+        handle.cancel()
+        assert loop.peek() == 2.0
+
+    def test_processed_event_count(self):
+        loop = EventLoop()
+        for delay in (1.0, 2.0, 3.0):
+            loop.schedule(delay, lambda env: None)
+        loop.run()
+        assert loop.processed_events == 3

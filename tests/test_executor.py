@@ -1,0 +1,169 @@
+"""Tests for the round-based network executor."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.cloud import CloudTopology, QuantumCloud
+from repro.scheduling import AverageScheduler, CloudQCScheduler, GreedyScheduler
+from repro.sim import (
+    DEFAULT_LATENCY,
+    NetworkExecutor,
+    ScheduledJob,
+    local_execution_time,
+    mean_completion_time,
+)
+
+
+@pytest.fixture
+def two_qpu_cloud() -> QuantumCloud:
+    topology = CloudTopology.line(2)
+    return QuantumCloud(
+        topology,
+        computing_qubits_per_qpu=4,
+        communication_qubits_per_qpu=2,
+        epr_success_probability=1.0,
+    )
+
+
+@pytest.fixture
+def remote_pair_circuit() -> QuantumCircuit:
+    circuit = QuantumCircuit(2, name="pair")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    return circuit
+
+
+class TestLocalExecutionTime:
+    def test_critical_path_only(self, bell_circuit):
+        assert local_execution_time(bell_circuit) == pytest.approx(1.1)
+
+    def test_parallel_gates_do_not_add(self):
+        circuit = QuantumCircuit(4)
+        for q in range(4):
+            circuit.h(q)
+        assert local_execution_time(circuit) == pytest.approx(0.1)
+
+
+class TestDeterministicExecution:
+    def test_single_remote_gate_timing(self, two_qpu_cloud, remote_pair_circuit):
+        executor = NetworkExecutor(two_qpu_cloud, CloudQCScheduler())
+        result = executor.execute_single(
+            remote_pair_circuit, {0: 0, 1: 1}, seed=1
+        )
+        # With p=1 the single remote gate needs one EPR round + CX + measure.
+        expected = DEFAULT_LATENCY.epr_preparation + 1.0 + 5.0
+        assert result.completion_time == pytest.approx(expected)
+        assert result.num_remote_operations == 1
+        assert result.epr_rounds == 1
+
+    def test_local_job_completes_in_local_time(self, two_qpu_cloud, bell_circuit):
+        executor = NetworkExecutor(two_qpu_cloud, CloudQCScheduler())
+        result = executor.execute_single(bell_circuit, {0: 0, 1: 0}, seed=1)
+        assert result.completion_time == pytest.approx(1.1)
+        assert result.epr_rounds == 0
+
+    def test_serial_remote_gates_take_serial_rounds(self, two_qpu_cloud):
+        circuit = QuantumCircuit(2)
+        for _ in range(3):
+            circuit.cx(0, 1)
+        executor = NetworkExecutor(two_qpu_cloud, CloudQCScheduler())
+        result = executor.execute_single(circuit, {0: 0, 1: 1}, seed=1)
+        assert result.epr_rounds == 3
+        assert result.completion_time == pytest.approx(3 * 10.0 + 6.0)
+
+    def test_start_time_offsets_completion(self, two_qpu_cloud, remote_pair_circuit):
+        executor = NetworkExecutor(two_qpu_cloud, CloudQCScheduler())
+        job = ScheduledJob("late", remote_pair_circuit, {0: 0, 1: 1}, start_time=100.0)
+        result = executor.execute([job], seed=1)["late"]
+        assert result.start_time == 100.0
+        assert result.completion_time == pytest.approx(116.0)
+
+
+class TestProbabilisticExecution:
+    def test_lower_probability_takes_longer_on_average(self, remote_pair_circuit):
+        topology = CloudTopology.line(2)
+        cloud = QuantumCloud(topology, communication_qubits_per_qpu=1)
+        slow = NetworkExecutor(cloud, AverageScheduler(), epr_success_probability=0.1)
+        fast = NetworkExecutor(cloud, AverageScheduler(), epr_success_probability=0.9)
+        slow_mean = sum(
+            slow.execute_single(remote_pair_circuit, {0: 0, 1: 1}, seed=s).completion_time
+            for s in range(10)
+        )
+        fast_mean = sum(
+            fast.execute_single(remote_pair_circuit, {0: 0, 1: 1}, seed=s).completion_time
+            for s in range(10)
+        )
+        assert slow_mean > fast_mean
+
+    def test_redundancy_helps_under_low_probability(self):
+        # One remote gate, plenty of communication qubits: the CloudQC policy
+        # fires several attempts per round and finishes sooner than a policy
+        # restricted to one pair per round.
+        topology = CloudTopology.line(2)
+        cloud = QuantumCloud(topology, communication_qubits_per_qpu=5)
+        circuit = QuantumCircuit(2)
+        for _ in range(5):
+            circuit.cx(0, 1)
+        redundant = NetworkExecutor(cloud, CloudQCScheduler(), epr_success_probability=0.2)
+        capped = NetworkExecutor(
+            cloud, CloudQCScheduler(max_redundancy=1), epr_success_probability=0.2
+        )
+        redundant_mean = sum(
+            redundant.execute_single(circuit, {0: 0, 1: 1}, seed=s).completion_time
+            for s in range(8)
+        )
+        capped_mean = sum(
+            capped.execute_single(circuit, {0: 0, 1: 1}, seed=s).completion_time
+            for s in range(8)
+        )
+        assert redundant_mean < capped_mean
+
+    def test_seeded_execution_is_reproducible(self, default_cloud, knn_circuit):
+        from repro.placement import CloudQCPlacement
+
+        placement = CloudQCPlacement().place(knn_circuit, default_cloud, seed=1)
+        executor = NetworkExecutor(default_cloud, CloudQCScheduler())
+        a = executor.execute_single(knn_circuit, placement.mapping, seed=9)
+        b = executor.execute_single(knn_circuit, placement.mapping, seed=9)
+        assert a.completion_time == b.completion_time
+
+
+class TestMultiJobExecution:
+    def test_competing_jobs_share_communication_qubits(self, two_qpu_cloud):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        jobs = [
+            ScheduledJob(f"job-{i}", circuit, {0: 0, 1: 1}) for i in range(4)
+        ]
+        executor = NetworkExecutor(two_qpu_cloud, AverageScheduler())
+        results = executor.execute(jobs, seed=1)
+        assert len(results) == 4
+        # Only 2 communication qubits per QPU: four single-gate jobs cannot all
+        # finish in the first round.
+        finish_times = sorted(r.completion_time for r in results.values())
+        assert finish_times[-1] > finish_times[0]
+
+    def test_mean_completion_time_helper(self, two_qpu_cloud, remote_pair_circuit):
+        executor = NetworkExecutor(two_qpu_cloud, CloudQCScheduler())
+        results = executor.execute(
+            [ScheduledJob("a", remote_pair_circuit, {0: 0, 1: 1})], seed=1
+        )
+        assert mean_completion_time(results) == pytest.approx(16.0)
+        assert mean_completion_time({}) == 0.0
+
+    def test_greedy_starves_competitors(self):
+        # Two chains of remote gates competing for one communication qubit pair.
+        topology = CloudTopology.line(2)
+        cloud = QuantumCloud(
+            topology, communication_qubits_per_qpu=1, epr_success_probability=1.0
+        )
+        chain = QuantumCircuit(2)
+        for _ in range(3):
+            chain.cx(0, 1)
+        jobs = [
+            ScheduledJob("long", chain, {0: 0, 1: 1}),
+            ScheduledJob("short", chain, {0: 0, 1: 1}),
+        ]
+        greedy_results = NetworkExecutor(cloud, GreedyScheduler()).execute(jobs, seed=1)
+        # With a single pair per round the two jobs' six gates serialise.
+        assert max(r.epr_rounds for r in greedy_results.values()) == 6

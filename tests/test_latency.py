@@ -1,0 +1,79 @@
+"""Tests for the Table I latency model."""
+
+import pytest
+
+from repro.circuits import Gate
+from repro.sim import DEFAULT_LATENCY, LatencyModel
+
+
+class TestGateLatency:
+    def test_table1_defaults(self):
+        assert DEFAULT_LATENCY.single_qubit_gate == pytest.approx(0.1)
+        assert DEFAULT_LATENCY.two_qubit_gate == pytest.approx(1.0)
+        assert DEFAULT_LATENCY.measurement == pytest.approx(5.0)
+        assert DEFAULT_LATENCY.epr_preparation == pytest.approx(10.0)
+
+    def test_gate_latency_by_kind(self):
+        assert DEFAULT_LATENCY.gate_latency(Gate("h", (0,))) == pytest.approx(0.1)
+        assert DEFAULT_LATENCY.gate_latency(Gate("cx", (0, 1))) == pytest.approx(1.0)
+        assert DEFAULT_LATENCY.gate_latency(Gate("measure", (0,))) == pytest.approx(5.0)
+
+    def test_barrier_is_free(self):
+        assert DEFAULT_LATENCY.gate_latency(Gate("barrier", (0,))) == 0.0
+
+    def test_custom_model(self):
+        model = LatencyModel(single_qubit_gate=0.2, epr_preparation=20.0)
+        assert model.gate_latency(Gate("x", (0,))) == pytest.approx(0.2)
+        assert model.remote_gate_latency() == pytest.approx(20.0 + 1.0 + 5.0)
+
+
+class TestRemoteGateLatency:
+    def test_single_attempt_single_hop(self):
+        assert DEFAULT_LATENCY.remote_gate_latency() == pytest.approx(16.0)
+
+    def test_attempts_scale_epr_time(self):
+        assert DEFAULT_LATENCY.remote_gate_latency(epr_attempts=3) == pytest.approx(
+            3 * 10 + 1 + 5
+        )
+
+    def test_hops_scale_epr_time(self):
+        assert DEFAULT_LATENCY.remote_gate_latency(hops=2) == pytest.approx(
+            2 * 10 + 1 + 5
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LATENCY.remote_gate_latency(epr_attempts=0)
+        with pytest.raises(ValueError):
+            DEFAULT_LATENCY.remote_gate_latency(hops=0)
+
+    def test_remote_gate_slower_than_local(self):
+        remote = DEFAULT_LATENCY.remote_gate_latency()
+        local = DEFAULT_LATENCY.gate_latency(Gate("cx", (0, 1)))
+        assert remote > 10 * local
+
+
+class TestExpectedRemoteLatency:
+    def test_certain_success_equals_one_round(self):
+        assert DEFAULT_LATENCY.expected_remote_gate_latency(1.0) == pytest.approx(16.0)
+
+    def test_lower_probability_costs_more(self):
+        fast = DEFAULT_LATENCY.expected_remote_gate_latency(0.5)
+        slow = DEFAULT_LATENCY.expected_remote_gate_latency(0.1)
+        assert slow > fast
+
+    def test_parallel_attempts_reduce_expected_latency(self):
+        single = DEFAULT_LATENCY.expected_remote_gate_latency(0.3, parallel_attempts=1)
+        redundant = DEFAULT_LATENCY.expected_remote_gate_latency(0.3, parallel_attempts=3)
+        assert redundant < single
+
+    def test_expected_matches_geometric_mean_rounds(self):
+        expected = DEFAULT_LATENCY.expected_remote_gate_latency(0.25)
+        # 4 expected rounds: 1 round inside remote_gate_latency + 3 extra.
+        assert expected == pytest.approx(16.0 + 3 * 10.0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LATENCY.expected_remote_gate_latency(0.0)
+        with pytest.raises(ValueError):
+            DEFAULT_LATENCY.expected_remote_gate_latency(0.3, parallel_attempts=0)

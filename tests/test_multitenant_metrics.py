@@ -1,0 +1,66 @@
+"""Tests for the multi-tenant completion-time metrics."""
+
+import pytest
+
+from repro.multitenant import (
+    CompletionStats,
+    cdf_at_percentile,
+    completion_cdf,
+    fraction_completed_by,
+    makespan,
+    relative_to_baseline,
+)
+
+
+class TestCompletionStats:
+    def test_from_times(self):
+        stats = CompletionStats.from_times([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.median == pytest.approx(2.5)
+        assert stats.maximum == 4.0
+
+    def test_empty(self):
+        stats = CompletionStats.from_times([])
+        assert stats.count == 0
+        assert stats.mean == 0.0
+
+
+class TestCdf:
+    def test_cdf_points_monotonic(self):
+        points = completion_cdf([3.0, 1.0, 2.0])
+        assert points == [(1.0, pytest.approx(1 / 3)), (2.0, pytest.approx(2 / 3)), (3.0, 1.0)]
+
+    def test_cdf_empty(self):
+        assert completion_cdf([]) == []
+
+    def test_fraction_completed_by(self):
+        times = [1.0, 2.0, 3.0, 4.0]
+        assert fraction_completed_by(times, 2.5) == pytest.approx(0.5)
+        assert fraction_completed_by(times, 0.5) == 0.0
+        assert fraction_completed_by([], 1.0) == 0.0
+
+    def test_cdf_at_percentile(self):
+        times = list(range(1, 101))
+        assert cdf_at_percentile(times, 90) == pytest.approx(90.1, abs=0.5)
+        assert cdf_at_percentile([], 90) == 0.0
+
+    def test_makespan(self):
+        assert makespan([5.0, 9.0, 2.0]) == 9.0
+        assert makespan([]) == 0.0
+
+
+class TestRelative:
+    def test_relative_to_baseline(self):
+        values = {"CloudQC": 50.0, "Greedy": 100.0}
+        relative = relative_to_baseline(values, "CloudQC")
+        assert relative["CloudQC"] == 1.0
+        assert relative["Greedy"] == 2.0
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            relative_to_baseline({"a": 1.0}, "b")
+
+    def test_zero_baseline(self):
+        with pytest.raises(ValueError):
+            relative_to_baseline({"a": 0.0}, "a")

@@ -1,0 +1,70 @@
+"""Tests for the community-based and BFS QPU-set selection strategies."""
+
+import networkx as nx
+import pytest
+
+from repro.cloud import CloudTopology, QuantumCloud
+from repro.community import CommunityError
+from repro.placement import bfs_qpu_set, community_qpu_set
+
+
+class TestBfsSelection:
+    def test_bfs_covers_required_capacity(self, default_cloud):
+        selection = bfs_qpu_set(default_cloud, 64)
+        total = sum(default_cloud.qpu(q).computing_available for q in selection)
+        assert total >= 64
+
+    def test_bfs_selection_is_contiguous(self):
+        topology = CloudTopology.line(8)
+        cloud = QuantumCloud(topology, computing_qubits_per_qpu=5)
+        selection = bfs_qpu_set(cloud, 14, start=0)
+        assert selection == [0, 1, 2]
+
+    def test_bfs_skips_full_qpus(self):
+        topology = CloudTopology.line(4)
+        cloud = QuantumCloud(topology, computing_qubits_per_qpu=5)
+        cloud.admit("busy", {i: 1 for i in range(5)})  # QPU1 full
+        selection = bfs_qpu_set(cloud, 10, start=0)
+        assert 1 not in selection
+
+    def test_bfs_min_qpus(self):
+        topology = CloudTopology.line(6)
+        cloud = QuantumCloud(topology, computing_qubits_per_qpu=10)
+        selection = bfs_qpu_set(cloud, 5, min_qpus=3, start=2)
+        assert len(selection) >= 3
+
+    def test_bfs_insufficient_capacity_raises(self, small_cloud):
+        with pytest.raises(CommunityError):
+            bfs_qpu_set(small_cloud, 1000)
+
+    def test_bfs_invalid_request(self, small_cloud):
+        with pytest.raises(ValueError):
+            bfs_qpu_set(small_cloud, 0)
+
+    def test_bfs_default_start_is_most_available(self):
+        topology = CloudTopology.line(3)
+        cloud = QuantumCloud(topology, computing_qubits_per_qpu=6)
+        cloud.admit("busy", {0: 0, 1: 0, 2: 0, 3: 1})  # free: QPU0=3, QPU1=5, QPU2=6
+        selection = bfs_qpu_set(cloud, 5)
+        assert selection == [2]
+
+
+class TestCommunitySelection:
+    def test_community_covers_required_capacity(self, default_cloud):
+        selection = community_qpu_set(default_cloud, 100, min_qpus=5, seed=3)
+        total = sum(default_cloud.qpu(q).computing_available for q in selection)
+        assert total >= 100
+        assert len(selection) >= 5
+
+    def test_community_selection_connected(self, default_cloud):
+        selection = community_qpu_set(default_cloud, 60, min_qpus=3, seed=3)
+        subgraph = default_cloud.topology.graph.subgraph(selection)
+        assert nx.is_connected(subgraph)
+
+    def test_community_insufficient_capacity_raises(self, small_cloud):
+        with pytest.raises(CommunityError):
+            community_qpu_set(small_cloud, 1000)
+
+    def test_greedy_method_dispatch(self, default_cloud):
+        selection = community_qpu_set(default_cloud, 40, method="greedy")
+        assert sum(default_cloud.qpu(q).computing_available for q in selection) >= 40

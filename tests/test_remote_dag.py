@@ -1,0 +1,104 @@
+"""Tests for remote-DAG extraction and its priorities."""
+
+import networkx as nx
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.scheduling import RemoteDAG
+
+
+@pytest.fixture
+def spanning_circuit() -> QuantumCircuit:
+    """Circuit whose gates alternate between local and remote under the mapping below."""
+    circuit = QuantumCircuit(6, name="span")
+    circuit.cx(0, 1)   # 0: local (both on QPU A)
+    circuit.cx(1, 3)   # 1: remote A-B
+    circuit.h(3)       # 2: local single qubit
+    circuit.cx(3, 5)   # 3: remote B-C
+    circuit.cx(4, 5)   # 4: local (both on C)
+    circuit.cx(0, 4)   # 5: remote A-C
+    return circuit
+
+
+MAPPING = {0: 0, 1: 0, 2: 0, 3: 1, 4: 2, 5: 2}
+
+
+class TestExtraction:
+    def test_only_cross_qpu_gates_kept(self, spanning_circuit):
+        dag = RemoteDAG(spanning_circuit, MAPPING)
+        gate_indices = {op.gate_index for op in dag}
+        assert gate_indices == {1, 3, 5}
+
+    def test_qpu_pairs_recorded(self, spanning_circuit):
+        dag = RemoteDAG(spanning_circuit, MAPPING)
+        pairs = {op.gate_index: op.qpu_pair for op in dag}
+        assert pairs[1] == (0, 1)
+        assert pairs[3] == (1, 2)
+        assert pairs[5] == (0, 2)
+
+    def test_dependencies_skip_local_gates(self, spanning_circuit):
+        dag = RemoteDAG(spanning_circuit, MAPPING)
+        by_gate = {op.gate_index: op for op in dag}
+        # Gate 3 depends on gate 1 through the local H on qubit 3.
+        assert by_gate[1].node_id in by_gate[3].predecessors
+        # Gate 5 depends on gate 3 through the local CX(4,5) on QPU C.
+        assert by_gate[3].node_id in by_gate[5].predecessors
+
+    def test_all_local_mapping_gives_empty_dag(self, spanning_circuit):
+        dag = RemoteDAG(spanning_circuit, {q: 0 for q in range(6)})
+        assert dag.num_operations == 0
+        assert dag.front_layer(set()) == []
+
+    def test_qpus_involved_and_per_qpu_ops(self, spanning_circuit):
+        dag = RemoteDAG(spanning_circuit, MAPPING)
+        assert dag.qpus_involved() == {0, 1, 2}
+        assert len(dag.operations_on_qpu(0)) == 2
+
+
+class TestOrderingAndPriorities:
+    def test_topological_order_respects_dependencies(self, spanning_circuit):
+        dag = RemoteDAG(spanning_circuit, MAPPING)
+        order = dag.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for op in dag:
+            for pred in op.predecessors:
+                assert position[pred] < position[op.node_id]
+
+    def test_front_layer_progression(self, spanning_circuit):
+        dag = RemoteDAG(spanning_circuit, MAPPING)
+        first = dag.front_layer(set())
+        assert len(first) == 1
+        completed = set(first)
+        second = dag.front_layer(completed)
+        assert second and set(second).isdisjoint(completed)
+
+    def test_priorities_decrease_along_chains(self, spanning_circuit):
+        dag = RemoteDAG(spanning_circuit, MAPPING)
+        by_gate = {op.gate_index: op for op in dag}
+        assert by_gate[1].priority >= by_gate[3].priority
+        assert by_gate[3].priority >= by_gate[5].priority
+
+    def test_leaf_priority_is_zero(self, spanning_circuit):
+        dag = RemoteDAG(spanning_circuit, MAPPING)
+        leaves = [op for op in dag if not op.successors]
+        assert leaves
+        assert all(op.priority == 0 for op in leaves)
+
+    def test_critical_path_length(self, spanning_circuit):
+        dag = RemoteDAG(spanning_circuit, MAPPING)
+        assert dag.critical_path_length() == 3
+
+    def test_to_networkx_is_dag(self, spanning_circuit):
+        graph = RemoteDAG(spanning_circuit, MAPPING).to_networkx()
+        assert nx.is_directed_acyclic_graph(graph)
+        assert graph.number_of_nodes() == 3
+
+
+class TestLargerCircuits:
+    def test_remote_dag_of_benchmark_circuit(self, knn_circuit, default_cloud):
+        from repro.placement import CloudQCPlacement
+
+        placement = CloudQCPlacement().place(knn_circuit, default_cloud, seed=1)
+        dag = RemoteDAG(knn_circuit, placement.mapping)
+        assert dag.num_operations == placement.num_remote_operations()
+        assert dag.critical_path_length() <= dag.num_operations

@@ -1,0 +1,147 @@
+"""Tests for the EPR allocation policies (CloudQC, Greedy, Average, Random)."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling import (
+    AllocationRequest,
+    AverageScheduler,
+    CloudQCScheduler,
+    GreedyScheduler,
+    NETWORK_SCHEDULERS,
+    RandomScheduler,
+    allocation_usage,
+    get_scheduler,
+    is_feasible,
+    max_allocatable,
+)
+
+
+def request(op, a, b, priority=0):
+    return AllocationRequest(op_id=("job", op), qpu_a=a, qpu_b=b, priority=priority)
+
+
+@pytest.fixture
+def competing_requests():
+    """Two high/low priority ops sharing QPU 0, plus an independent op."""
+    return [
+        request(0, 0, 1, priority=5),
+        request(1, 0, 2, priority=1),
+        request(2, 3, 4, priority=2),
+    ]
+
+
+CAPACITY = {0: 3, 1: 5, 2: 5, 3: 2, 4: 2}
+
+
+class TestAllocationHelpers:
+    def test_max_allocatable_is_min_of_endpoints(self):
+        assert max_allocatable(request(0, 0, 1), {0: 2, 1: 7}) == 2
+        assert max_allocatable(request(0, 0, 1), {0: 0, 1: 7}) == 0
+
+    def test_allocation_usage_counts_both_endpoints(self, competing_requests):
+        allocation = {("job", 0): 2, ("job", 2): 1}
+        usage = allocation_usage(competing_requests, allocation)
+        assert usage == {0: 2, 1: 2, 3: 1, 4: 1}
+
+    def test_is_feasible(self, competing_requests):
+        assert is_feasible(competing_requests, {("job", 0): 3}, CAPACITY)
+        assert not is_feasible(competing_requests, {("job", 0): 4}, CAPACITY)
+        assert not is_feasible(competing_requests, {("job", 0): -1}, CAPACITY)
+
+
+class TestCloudQCScheduler:
+    def test_no_starvation_when_capacity_allows(self, competing_requests):
+        allocation = CloudQCScheduler().allocate(competing_requests, CAPACITY)
+        assert all(allocation.get(r.op_id, 0) >= 1 for r in competing_requests)
+
+    def test_priority_gets_the_redundancy(self, competing_requests):
+        allocation = CloudQCScheduler().allocate(competing_requests, CAPACITY)
+        assert allocation[("job", 0)] > allocation[("job", 1)]
+
+    def test_feasibility(self, competing_requests):
+        allocation = CloudQCScheduler().allocate(competing_requests, CAPACITY)
+        assert is_feasible(competing_requests, allocation, CAPACITY)
+
+    def test_max_redundancy_cap(self):
+        requests = [request(0, 0, 1, priority=9)]
+        allocation = CloudQCScheduler(max_redundancy=2).allocate(
+            requests, {0: 10, 1: 10}
+        )
+        assert allocation[("job", 0)] == 2
+
+    def test_scarce_capacity_prefers_high_priority(self):
+        requests = [request(0, 0, 1, priority=10), request(1, 0, 1, priority=0)]
+        allocation = CloudQCScheduler().allocate(requests, {0: 1, 1: 1})
+        assert allocation == {("job", 0): 1}
+
+    def test_invalid_redundancy(self):
+        with pytest.raises(ValueError):
+            CloudQCScheduler(max_redundancy=0)
+
+
+class TestGreedyScheduler:
+    def test_top_priority_takes_everything(self, competing_requests):
+        allocation = GreedyScheduler().allocate(competing_requests, CAPACITY)
+        assert allocation[("job", 0)] == 3  # all of QPU 0
+        assert ("job", 1) not in allocation  # starved on QPU 0
+        assert allocation[("job", 2)] == 2
+
+    def test_feasibility(self, competing_requests):
+        allocation = GreedyScheduler().allocate(competing_requests, CAPACITY)
+        assert is_feasible(competing_requests, allocation, CAPACITY)
+
+
+class TestAverageScheduler:
+    def test_even_split_between_competitors(self):
+        requests = [request(0, 0, 1, priority=9), request(1, 0, 2, priority=0)]
+        allocation = AverageScheduler().allocate(requests, {0: 4, 1: 4, 2: 4})
+        assert allocation[("job", 0)] == allocation[("job", 1)] == 2
+
+    def test_feasibility(self, competing_requests):
+        allocation = AverageScheduler().allocate(competing_requests, CAPACITY)
+        assert is_feasible(competing_requests, allocation, CAPACITY)
+
+    def test_ignores_priorities(self):
+        requests = [request(0, 0, 1, priority=0), request(1, 0, 1, priority=100)]
+        allocation = AverageScheduler().allocate(requests, {0: 4, 1: 4})
+        assert allocation[("job", 0)] == allocation[("job", 1)]
+
+
+class TestRandomScheduler:
+    def test_feasibility(self, competing_requests):
+        rng = np.random.default_rng(0)
+        allocation = RandomScheduler().allocate(competing_requests, CAPACITY, rng=rng)
+        assert is_feasible(competing_requests, allocation, CAPACITY)
+
+    def test_exhausts_capacity_eventually(self):
+        rng = np.random.default_rng(0)
+        requests = [request(0, 0, 1)]
+        allocation = RandomScheduler().allocate(requests, {0: 3, 1: 3}, rng=rng)
+        assert allocation[("job", 0)] == 3
+
+    def test_seeded_reproducibility(self, competing_requests):
+        a = RandomScheduler().allocate(
+            competing_requests, CAPACITY, rng=np.random.default_rng(7)
+        )
+        b = RandomScheduler().allocate(
+            competing_requests, CAPACITY, rng=np.random.default_rng(7)
+        )
+        assert a == b
+
+
+class TestRegistry:
+    def test_all_policies_registered(self):
+        assert {"cloudqc", "greedy", "average", "random"} <= set(NETWORK_SCHEDULERS)
+
+    def test_get_scheduler(self):
+        assert get_scheduler("greedy").name == "greedy"
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(KeyError):
+            get_scheduler("nope")
+
+    def test_empty_requests_give_empty_allocation(self):
+        for name in NETWORK_SCHEDULERS:
+            scheduler = get_scheduler(name)
+            assert scheduler.allocate([], CAPACITY, rng=np.random.default_rng(0)) == {}

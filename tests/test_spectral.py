@@ -1,0 +1,74 @@
+"""Tests for the spectral partitioning alternative."""
+
+import networkx as nx
+import pytest
+
+from repro.partition import (
+    PartitionError,
+    edge_cut,
+    fiedler_bisection,
+    is_valid_partition,
+    part_weights,
+    spectral_partition,
+)
+
+
+def barbell(clique: int = 5) -> nx.Graph:
+    graph = nx.barbell_graph(clique, 0)
+    nx.set_edge_attributes(graph, 1.0, "weight")
+    return graph
+
+
+class TestFiedlerBisection:
+    def test_splits_barbell_at_the_bridge(self):
+        graph = barbell()
+        split = fiedler_bisection(graph)
+        assert edge_cut(graph, split) == pytest.approx(1.0)
+
+    def test_halves_are_balanced(self):
+        graph = barbell()
+        split = fiedler_bisection(graph)
+        sizes = part_weights(graph, split, 2)
+        assert sizes[0] == sizes[1]
+
+    def test_tiny_graphs(self):
+        single = nx.Graph()
+        single.add_node(0)
+        assert fiedler_bisection(single) == {0: 0}
+        pair = nx.path_graph(2)
+        assert sorted(fiedler_bisection(pair).values()) == [0, 1]
+
+
+class TestSpectralPartition:
+    def test_valid_partition_for_non_power_of_two(self):
+        graph = nx.erdos_renyi_graph(30, 0.25, seed=3)
+        nx.set_edge_attributes(graph, 1.0, "weight")
+        assignment = spectral_partition(graph, 3, seed=1)
+        assert is_valid_partition(graph, assignment, 3)
+
+    def test_respects_imbalance(self):
+        graph = nx.erdos_renyi_graph(40, 0.2, seed=8)
+        nx.set_edge_attributes(graph, 1.0, "weight")
+        assignment = spectral_partition(graph, 4, imbalance=0.15, seed=1)
+        weights = part_weights(graph, assignment, 4)
+        assert max(weights.values()) <= (1.15 * 40 / 4) + 1e-9
+
+    def test_handles_disconnected_graph(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)], weight=1.0)
+        graph.add_nodes_from([4, 5])
+        assignment = spectral_partition(graph, 2, imbalance=0.5, seed=1)
+        assert is_valid_partition(graph, assignment, 2)
+
+    def test_too_many_parts_raises(self):
+        with pytest.raises(PartitionError):
+            spectral_partition(nx.path_graph(3), 5)
+
+    def test_quality_comparable_to_multilevel_on_barbell(self):
+        from repro.partition import partition_graph
+
+        graph = barbell(8)
+        spectral_cut = edge_cut(graph, spectral_partition(graph, 2, seed=1))
+        multilevel_cut = edge_cut(graph, partition_graph(graph, 2, seed=1))
+        assert spectral_cut == pytest.approx(1.0)
+        assert multilevel_cut == pytest.approx(1.0)

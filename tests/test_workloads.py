@@ -1,0 +1,81 @@
+"""Tests for the multi-tenant workload generators."""
+
+import pytest
+
+from repro.multitenant import (
+    WORKLOADS,
+    generate_batch,
+    generate_batches,
+    workload_circuits,
+    workload_names,
+)
+
+
+class TestWorkloadDefinitions:
+    def test_four_workloads_defined(self):
+        assert set(workload_names()) == {"mixed", "qft", "qugan", "arithmetic"}
+
+    def test_mixed_contents_match_paper(self):
+        assert set(workload_circuits("mixed")) == {
+            "knn_n129",
+            "qugan_n111",
+            "qugan_n71",
+            "qft_n63",
+            "multiplier_n45",
+            "multiplier_n75",
+        }
+
+    def test_qft_workload_sizes(self):
+        assert workload_circuits("qft") == ["qft_n29", "qft_n63", "qft_n100"]
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            workload_circuits("nope")
+
+    def test_workload_circuits_returns_copy(self):
+        names = workload_circuits("qugan")
+        names.append("bogus")
+        assert "bogus" not in WORKLOADS["qugan"]
+
+
+class TestBatchGeneration:
+    def test_batch_size_and_membership(self):
+        batch = generate_batch("qugan", batch_size=6, seed=1)
+        assert len(batch) == 6
+        allowed = set(workload_circuits("qugan"))
+        assert all(circuit.name in allowed for circuit in batch)
+
+    def test_batches_are_seeded(self):
+        a = generate_batch("arithmetic", batch_size=5, seed=3)
+        b = generate_batch("arithmetic", batch_size=5, seed=3)
+        assert [c.name for c in a] == [c.name for c in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_batch("mixed", batch_size=10, seed=1)
+        b = generate_batch("mixed", batch_size=10, seed=2)
+        assert [c.name for c in a] != [c.name for c in b]
+
+    def test_explicit_name_pool(self):
+        batch = generate_batch("mixed", batch_size=4, seed=1, names=["qft_n29"])
+        assert all(circuit.name == "qft_n29" for circuit in batch)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            generate_batch("qft", batch_size=0)
+
+    def test_generate_batches_count(self):
+        batches = generate_batches("qugan", num_batches=3, batch_size=4, seed=5)
+        assert len(batches) == 3
+        assert all(len(batch) == 4 for batch in batches)
+
+    def test_generate_batches_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_batches("qugan", num_batches=0)
+
+    def test_circuits_are_cached_instances(self):
+        a = generate_batch("qugan", batch_size=3, seed=1)
+        b = generate_batch("qugan", batch_size=3, seed=1)
+        by_name_a = {c.name: c for c in a}
+        by_name_b = {c.name: c for c in b}
+        for name in by_name_a:
+            assert by_name_a[name] is by_name_b[name]
