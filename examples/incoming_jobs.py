@@ -2,9 +2,12 @@
 """Incoming-job mode: tenants arriving over time as a Poisson stream.
 
 The paper's batch manager supports an incoming-job (FIFO) mode in addition to
-batch mode.  This example feeds the multi-tenant simulator a Poisson arrival
-stream and compares FIFO admission against the Eq. 11 metric ordering,
-reporting queueing delay and job completion time per tenant.
+batch mode.  This example feeds the multi-tenant simulator's event-driven
+``run_stream`` a Poisson arrival stream and compares FIFO admission against
+the Eq. 11 metric ordering, reporting queueing delay and job completion time
+per tenant.  Every arrival is an event on the simulation loop, so a tenant
+arriving while other jobs hold the network is still placed at its arrival
+time whenever computing qubits are free.
 
 Run with::
 
@@ -47,7 +50,7 @@ def main(num_jobs: int, rate: float) -> None:
             network_scheduler=CloudQCScheduler(),
             batch_manager=manager,
         )
-        results = simulator.run_batch(circuits, seed=1, arrival_times=arrivals)
+        results = simulator.run_stream(circuits, arrivals, seed=1)
         stats = CompletionStats.from_times([r.job_completion_time for r in results])
         queueing = [r.queueing_delay for r in results]
         print(f"\n{label}:")

@@ -7,7 +7,12 @@ from .batch_manager import (
     fifo_batch_manager,
     priority_batch_manager,
 )
-from .arrivals import bursty_arrivals, poisson_arrivals, uniform_arrivals
+from .arrivals import (
+    bursty_arrivals,
+    poisson_arrivals,
+    trace_arrivals,
+    uniform_arrivals,
+)
 from .workloads import (
     WORKLOADS,
     generate_batch,
@@ -49,6 +54,7 @@ __all__ = [
     "poisson_arrivals",
     "priority_batch_manager",
     "relative_to_baseline",
+    "trace_arrivals",
     "uniform_arrivals",
     "workload_circuits",
     "workload_names",

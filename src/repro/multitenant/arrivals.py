@@ -2,13 +2,16 @@
 
 The paper's batch manager supports two modes; in the *incoming job* mode jobs
 arrive one after another.  These helpers generate arrival time sequences for
-that mode: Poisson (memoryless tenant requests), uniform spacing, and bursty
-arrivals (several tenants submitting at once, then a gap).
+that mode: Poisson (memoryless tenant requests), uniform spacing, bursty
+arrivals (several tenants submitting at once, then a gap), and replay of
+recorded submission traces.  Every sequence feeds
+:meth:`~repro.multitenant.MultiTenantSimulator.run_stream`, where each arrival
+becomes an event on the shared discrete-event loop.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 import numpy as np
 
@@ -70,3 +73,25 @@ def bursty_arrivals(
         offset = float(rng.exponential(jitter)) if jitter > 0 else 0.0
         arrivals.append(start + burst_index * burst_gap + offset)
     return sorted(arrivals)
+
+
+def trace_arrivals(
+    trace: Iterable[float],
+    start: float = 0.0,
+    time_scale: float = 1.0,
+) -> List[float]:
+    """Replay a recorded submission trace as simulator arrival times.
+
+    ``trace`` holds raw timestamps in any unit and any order (e.g. epoch
+    seconds from a production job log).  They are sorted, rebased so the
+    earliest lands at ``start``, and the gaps are multiplied by ``time_scale``
+    to convert the trace's unit into simulator CX-time units (or to compress /
+    stretch the workload).
+    """
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    times = sorted(float(timestamp) for timestamp in trace)
+    if not times:
+        return []
+    first = times[0]
+    return [start + (timestamp - first) * time_scale for timestamp in times]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..cloud import Job
 
@@ -53,11 +53,27 @@ class BatchManager:
             lambda_depth=self.config.lambda_depth,
         )
 
-    def order(self, jobs: Sequence[Job]) -> List[Job]:
-        """Return the jobs in processing order (does not mutate the input)."""
+    def order(
+        self, jobs: Sequence[Job], now: Optional[float] = None
+    ) -> List[Job]:
+        """Return the jobs in processing order (does not mutate the input).
+
+        When ``now`` is given, jobs that have not yet arrived
+        (``arrival_time > now``) are excluded first -- this is how the
+        event-driven cluster simulator asks for the admissible queue at one
+        decision point.
+        """
+        if now is not None:
+            jobs = [job for job in jobs if job.arrival_time <= now]
         if self.config.mode is BatchMode.FIFO:
             # Stable sort: jobs with equal arrival times keep submission order.
             return sorted(jobs, key=lambda job: job.arrival_time)
+        # Known quirk, kept deliberately: the equal-metric tiebreak compares
+        # job ids lexicographically, so "job-10" sorts before "job-9" when the
+        # process-global job counter crosses a power of ten.  Switching to a
+        # numeric tiebreak would reorder tied placements and move the pinned
+        # Figs. 14-17 batch numbers; re-baseline the figures before changing it
+        # (tracked in ROADMAP.md).
         ordered = sorted(
             jobs,
             key=lambda job: (self.metric(job), job.job_id),
@@ -65,11 +81,14 @@ class BatchManager:
         )
         return ordered
 
-    def select_next(self, jobs: Sequence[Job]) -> Job:
+    def select_next(self, jobs: Sequence[Job], now: Optional[float] = None) -> Job:
         """The single job that should be placed next."""
         if not jobs:
             raise ValueError("no pending jobs to select from")
-        return self.order(jobs)[0]
+        ordered = self.order(jobs, now=now)
+        if not ordered:
+            raise ValueError("no pending job has arrived yet")
+        return ordered[0]
 
 
 def priority_batch_manager(

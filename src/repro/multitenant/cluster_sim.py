@@ -5,13 +5,38 @@ admitted by the batch manager, placed by a placement algorithm whenever enough
 computing qubits are free, and executed over the shared quantum network, with
 all concurrently running jobs competing for the same per-QPU communication
 qubits every EPR round.  The output is the per-job completion time used for
-the CDFs of Figs. 14-17.
+the CDFs of Figs. 14-17 and the incoming-job mode of Sec. V-B.
+
+Architecture
+------------
+The simulator runs on the discrete-event engine of :mod:`repro.sim.engine`.
+Everything that moves the simulation forward is a timestamped event on one
+:class:`~repro.sim.EventLoop`:
+
+* *arrival* -- a tenant job enters the pending queue and immediately triggers a
+  placement pass, so a job arriving while EPR rounds are in flight is placed at
+  its arrival time whenever capacity is free (it is never starved waiting for
+  an unrelated completion);
+* *tick* -- one scheduler decision point: retire finished jobs, run a placement
+  pass over the pending queue in batch-manager order, and start the next EPR
+  round if any placed job has front-layer remote operations;
+* *EPR round end* -- one network round of ``epr_preparation`` time finishes;
+  the successes sampled for that round unlock successor operations and the
+  next decision point runs.
+
+Idle gaps (no runnable remote operation) are skipped by scheduling the next
+tick directly at the next completion time; upcoming arrivals are already queued
+as events.  While rounds are in flight, completions are acted on at round
+boundaries -- the scheduler's decision points -- which keeps pure batch mode
+(all arrivals at t=0) bit-identical to the original round-stepped simulator.
+Determinism comes from the event loop's insertion-order tiebreak plus a single
+seeded RNG consumed in a fixed order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -21,7 +46,15 @@ from ..community import CommunityError
 from ..network import EPRModel
 from ..placement import MappingError, Placement, PlacementAlgorithm
 from ..scheduling import AllocationRequest, NetworkScheduler, RemoteDAG
-from ..sim import DEFAULT_LATENCY, LatencyModel, local_execution_time
+from ..sim import (
+    DEFAULT_LATENCY,
+    EventHandle,
+    EventLoop,
+    FrontLayer,
+    LatencyModel,
+    SimulationError,
+    local_execution_time,
+)
 from .batch_manager import BatchManager, priority_batch_manager
 
 
@@ -59,39 +92,247 @@ class _ActiveJob:
     remote_dag: RemoteDAG
     local_time: float
     start_time: float
-    pending_predecessors: Dict[int, int] = field(default_factory=dict)
-    ready: List[int] = field(default_factory=list)
-    completed_ops: int = 0
-    last_finish: float = 0.0
+    front: FrontLayer = field(init=False, repr=False)
     completion_time: Optional[float] = None
 
     def __post_init__(self) -> None:
-        for node_id, operation in self.remote_dag.operations.items():
-            self.pending_predecessors[node_id] = len(operation.predecessors)
-        self.ready = sorted(
-            node for node, count in self.pending_predecessors.items() if count == 0
-        )
-        self.last_finish = self.start_time
+        self.front = FrontLayer(self.remote_dag, start_time=self.start_time)
         if self.remote_dag.num_operations == 0:
             self.completion_time = self.start_time + self.local_time
 
     @property
+    def ready(self) -> Set[int]:
+        return self.front.ready
+
+    @property
+    def completed_ops(self) -> int:
+        return self.front.completed
+
+    @property
     def remote_done(self) -> bool:
-        return self.completed_ops == self.remote_dag.num_operations
+        return self.front.done
 
     def finish_operation(self, node_id: int, finish_time: float) -> None:
-        self.completed_ops += 1
-        self.last_finish = max(self.last_finish, finish_time)
-        self.ready.remove(node_id)
-        for successor in self.remote_dag.operation(node_id).successors:
-            self.pending_predecessors[successor] -= 1
-            if self.pending_predecessors[successor] == 0:
-                self.ready.append(successor)
-        self.ready.sort()
-        if self.remote_done:
+        self.front.finish(node_id, finish_time)
+        if self.front.done:
             self.completion_time = max(
-                self.start_time + self.local_time, self.last_finish
+                self.start_time + self.local_time, self.front.last_finish
             )
+
+
+class _EventDrivenBatch:
+    """State of one :meth:`MultiTenantSimulator.run_batch` invocation.
+
+    At most one *tick* event is outstanding at any moment (round-end events
+    run the same logic but are tracked separately); an arrival that needs an
+    earlier decision point pulls the outstanding tick forward via
+    :meth:`EventLoop.reschedule` instead of stacking a second one.
+    """
+
+    def __init__(
+        self,
+        simulator: "MultiTenantSimulator",
+        circuits: Sequence[QuantumCircuit],
+        arrival_times: Sequence[float],
+        seed: Optional[int],
+    ) -> None:
+        self.simulator = simulator
+        self.cloud = simulator.template_cloud.clone_empty()
+        self.latency = simulator.latency
+        self.round_tail = self.latency.two_qubit_gate + self.latency.measurement
+        self.rng = np.random.default_rng(seed)
+        self.epr_model = EPRModel(
+            self.cloud.topology, simulator.epr_success_probability
+        )
+        self.controller = Controller(self.cloud)
+        self.pending: List[Job] = []
+        self.active: Dict[str, _ActiveJob] = {}
+        self.results: List[TenantJobResult] = []
+        self.resources_changed = True  # place on the first decision point
+        self.round_end_time: Optional[float] = None
+        self.tick_handle: Optional[EventHandle] = None
+        self.loop = EventLoop()
+        for circuit, arrival in zip(circuits, arrival_times):
+            job = self.controller.submit(circuit, arrival_time=arrival)
+            self.loop.schedule_at(
+                arrival,
+                self._arrival_callback(job),
+                label=f"arrive:{job.job_id}",
+            )
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _arrival_callback(self, job: Job):
+        def on_arrival(loop: EventLoop) -> None:
+            self.pending.append(job)
+            self.resources_changed = True
+            self._request_tick(loop.now)
+
+        return on_arrival
+
+    def _request_tick(self, time: float) -> None:
+        """Ensure a decision point runs no later than ``time``."""
+        if self.round_end_time is not None and time >= self.round_end_time:
+            # The round-end event is an earlier-or-equal decision point and
+            # recomputes any later needs itself.
+            return
+        if self.tick_handle is not None and not self.tick_handle.cancelled:
+            if self.tick_handle.time <= time:
+                return
+            self.tick_handle = self.loop.reschedule(self.tick_handle, time)
+            return
+        self.tick_handle = self.loop.schedule_at(time, self._tick, label="tick")
+
+    def _tick(self, loop: EventLoop) -> None:
+        """One scheduler decision point: retire, place, start the next round."""
+        self.tick_handle = None
+        now = loop.now
+        self._retire(now)
+        self._place(now)
+        if self.round_end_time is not None:
+            return  # a round is in flight; its end event continues the chain
+        runnable = [state for state in self.active.values() if state.ready]
+        if runnable:
+            self._start_round(loop, runnable)
+            return
+        # Idle: nothing runnable and no round in flight.  Wake at the next
+        # completion; future arrivals are already queued as events.
+        completions = [
+            state.completion_time
+            for state in self.active.values()
+            if state.completion_time is not None
+        ]
+        overdue = [t for t in completions if t <= now]
+        upcoming = [t for t in completions if t > now]
+        if overdue:
+            self._request_tick(now)
+        elif upcoming:
+            self._request_tick(min(upcoming))
+
+    def _on_round_end(self, loop: EventLoop) -> None:
+        self.round_end_time = None
+        self._tick(loop)
+
+    # ------------------------------------------------------------------
+    # Decision-point stages
+    # ------------------------------------------------------------------
+    def _retire(self, now: float) -> None:
+        finished = [
+            state
+            for state in self.active.values()
+            if state.completion_time is not None and state.completion_time <= now
+        ]
+        for state in finished:
+            self.controller.complete(state.job, state.completion_time)
+            self.results.append(self._result(state))
+            del self.active[state.job.job_id]
+            self.resources_changed = True
+
+    def _place(self, now: float) -> None:
+        if not (self.resources_changed and self.pending):
+            return
+        placed: Set[str] = set()
+        for job in self.simulator.batch_manager.order(self.pending, now=now):
+            placement = self._try_place(job)
+            if placement is None:
+                continue
+            self.controller.place(job, placement.mapping)
+            self.controller.start(job, now)
+            self.active[job.job_id] = _ActiveJob(
+                job=job,
+                placement=placement,
+                remote_dag=RemoteDAG(job.circuit, placement.mapping),
+                local_time=local_execution_time(job.circuit, self.latency),
+                start_time=now,
+            )
+            placed.add(job.job_id)
+        if placed:
+            # One rebuild instead of a per-job list.remove keeps a decision
+            # point linear in the pending-queue length.
+            self.pending = [
+                job for job in self.pending if job.job_id not in placed
+            ]
+        self.resources_changed = bool(placed)
+
+    def _start_round(self, loop: EventLoop, runnable: Sequence[_ActiveJob]) -> None:
+        """Allocate communication qubits, sample this round's EPR successes."""
+        requests = self._build_requests(runnable)
+        capacity = {
+            qpu_id: self.cloud.qpu(qpu_id).communication_capacity
+            for qpu_id in self.cloud.qpu_ids
+        }
+        allocation = self.simulator.network_scheduler.allocate(
+            requests, capacity, rng=self.rng
+        )
+        round_end = loop.now + self.latency.epr_preparation
+        for request in requests:
+            granted = allocation.get(request.op_id, 0)
+            if granted <= 0:
+                continue
+            job_id, node_id = request.op_id
+            if self.epr_model.sample_round(
+                request.qpu_a, request.qpu_b, granted, self.rng
+            ):
+                self.active[job_id].finish_operation(
+                    node_id, round_end + self.round_tail
+                )
+        self.round_end_time = round_end
+        loop.schedule_at(round_end, self._on_round_end, label="epr-round")
+
+    def _try_place(self, job: Job) -> Optional[Placement]:
+        if job.num_qubits > self.cloud.total_computing_available():
+            return None
+        try:
+            return self.simulator.placement_algorithm.place(
+                job.circuit, self.cloud, seed=int(self.rng.integers(1 << 31))
+            )
+        except (MappingError, CommunityError, PlacementError):
+            return None
+
+    @staticmethod
+    def _build_requests(runnable: Sequence[_ActiveJob]) -> List[AllocationRequest]:
+        requests: List[AllocationRequest] = []
+        for state in runnable:
+            requests.extend(state.front.requests(state.job.job_id))
+        return requests
+
+    def _result(self, state: _ActiveJob) -> TenantJobResult:
+        assert state.completion_time is not None
+        return TenantJobResult(
+            job_id=state.job.job_id,
+            circuit_name=state.job.circuit.name,
+            arrival_time=state.job.arrival_time,
+            placement_time=state.start_time,
+            completion_time=state.completion_time,
+            num_remote_operations=state.remote_dag.num_operations,
+            num_qpus_used=state.placement.num_qpus_used,
+        )
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def execute(self) -> List[TenantJobResult]:
+        try:
+            self.loop.run(max_events=self.simulator.max_events)
+        except SimulationError as exc:
+            raise ClusterSimulationError(
+                f"simulation exceeded {self.simulator.max_events} events"
+            ) from exc
+        if self.pending:
+            raise ClusterSimulationError(
+                "pending jobs can never be placed: insufficient resources"
+            )
+        if self.active:  # pragma: no cover - defensive; the loop never drains
+            raise ClusterSimulationError(
+                "event queue drained with unfinished active jobs"
+            )
+        # Length-then-lexicographic sorts the default "job-<n>" ids numerically,
+        # so the result order does not depend on the process-global job counter
+        # crossing a power of ten.
+        return sorted(
+            self.results, key=lambda result: (len(result.job_id), result.job_id)
+        )
 
 
 class MultiTenantSimulator:
@@ -105,7 +346,7 @@ class MultiTenantSimulator:
         batch_manager: Optional[BatchManager] = None,
         latency: LatencyModel = DEFAULT_LATENCY,
         epr_success_probability: Optional[float] = None,
-        max_rounds: int = 5_000_000,
+        max_events: int = 5_000_000,
     ) -> None:
         self.template_cloud = cloud
         self.placement_algorithm = placement_algorithm
@@ -117,7 +358,7 @@ class MultiTenantSimulator:
             if epr_success_probability is None
             else epr_success_probability
         )
-        self.max_rounds = max_rounds
+        self.max_events = max_events
 
     # ------------------------------------------------------------------
     # Public API
@@ -131,17 +372,21 @@ class MultiTenantSimulator:
         """Run a batch of circuits to completion and return per-job results.
 
         ``arrival_times`` defaults to 0 for every circuit (batch mode); passing
-        increasing arrival times models the incoming-job mode.
+        per-circuit arrival times models the incoming-job mode, where every
+        arrival event triggers a placement attempt at its exact arrival time.
         """
         if not circuits:
             return []
         if arrival_times is None:
             arrival_times = [0.0] * len(circuits)
+        else:
+            arrival_times = [float(time) for time in arrival_times]
         if len(arrival_times) != len(circuits):
             raise ValueError("arrival_times must match the number of circuits")
+        if any(time < 0 for time in arrival_times):
+            raise ValueError("arrival times cannot be negative")
 
-        cloud = self.template_cloud.clone_empty()
-        total_capacity = cloud.total_computing_capacity()
+        total_capacity = self.template_cloud.total_computing_capacity()
         for circuit in circuits:
             if circuit.num_qubits > total_capacity:
                 raise ClusterSimulationError(
@@ -149,161 +394,43 @@ class MultiTenantSimulator:
                     f"the cloud only has {total_capacity}"
                 )
 
-        rng = np.random.default_rng(seed)
-        epr_model = EPRModel(cloud.topology, self.epr_success_probability)
-        controller = Controller(cloud)
-        pending: List[Job] = [
-            controller.submit(circuit, arrival_time=arrival)
-            for circuit, arrival in zip(circuits, arrival_times)
-        ]
-        active: Dict[str, _ActiveJob] = {}
-        results: List[TenantJobResult] = []
+        return _EventDrivenBatch(self, circuits, arrival_times, seed).execute()
 
-        time = min(arrival_times)
-        rounds = 0
-        resources_changed = True  # try placement on the first iteration
+    def run_stream(
+        self,
+        circuits: Sequence[QuantumCircuit],
+        arrival_times: Sequence[float],
+        seed: Optional[int] = None,
+    ) -> List[TenantJobResult]:
+        """Incoming-job mode: circuits arriving over time (Sec. V-B).
 
-        while pending or active:
-            # 1. Retire jobs whose completion time has been reached.
-            finished = [
-                state
-                for state in active.values()
-                if state.completion_time is not None and state.completion_time <= time
-            ]
-            for state in finished:
-                controller.complete(state.job, state.completion_time)
-                results.append(self._result(state))
-                del active[state.job.job_id]
-                resources_changed = True
-
-            # 2. Try to place arrived pending jobs in batch-manager order.
-            if resources_changed and pending:
-                arrived = [job for job in pending if job.arrival_time <= time]
-                placed_any = False
-                for job in self.batch_manager.order(arrived):
-                    placement = self._try_place(job, cloud, rng)
-                    if placement is None:
-                        continue
-                    controller.place(job, placement.mapping)
-                    controller.start(job, time)
-                    active[job.job_id] = _ActiveJob(
-                        job=job,
-                        placement=placement,
-                        remote_dag=RemoteDAG(job.circuit, placement.mapping),
-                        local_time=local_execution_time(job.circuit, self.latency),
-                        start_time=time,
-                    )
-                    pending.remove(job)
-                    placed_any = True
-                resources_changed = placed_any
-
-            # 3. Gather the competing front layers of every running job.
-            runnable = [state for state in active.values() if state.ready]
-            if not runnable:
-                time, progressed = self._advance_idle_time(time, pending, active)
-                if progressed:
-                    resources_changed = True
-                    continue
-                if not active and pending:
-                    raise ClusterSimulationError(
-                        "pending jobs can never be placed: insufficient resources"
-                    )
-                continue
-
-            # 4. One EPR round: allocate, sample successes, advance time.
-            requests = self._build_requests(runnable)
-            capacity = {
-                qpu_id: cloud.qpu(qpu_id).communication_capacity
-                for qpu_id in cloud.qpu_ids
-            }
-            allocation = self.network_scheduler.allocate(requests, capacity, rng=rng)
-            round_end = time + self.latency.epr_preparation
-            tail = self.latency.two_qubit_gate + self.latency.measurement
-            for request in requests:
-                granted = allocation.get(request.op_id, 0)
-                if granted <= 0:
-                    continue
-                job_id, node_id = request.op_id
-                if epr_model.sample_round(request.qpu_a, request.qpu_b, granted, rng):
-                    active[job_id].finish_operation(node_id, round_end + tail)
-            time = round_end
-            rounds += 1
-            if rounds > self.max_rounds:
-                raise ClusterSimulationError(
-                    f"simulation exceeded {self.max_rounds} EPR rounds"
-                )
-
-        return sorted(results, key=lambda result: result.job_id)
+        ``arrival_times`` pairs one arrival per circuit -- typically generated
+        by :func:`~repro.multitenant.arrivals.poisson_arrivals`,
+        :func:`~repro.multitenant.arrivals.uniform_arrivals`,
+        :func:`~repro.multitenant.arrivals.bursty_arrivals` or replayed from a
+        recorded trace via
+        :func:`~repro.multitenant.arrivals.trace_arrivals`.  Arrivals flow
+        through the same event path as batch mode; batch mode is simply the
+        special case where every arrival is at t=0.
+        """
+        if arrival_times is None:
+            raise ValueError("run_stream requires explicit arrival times")
+        return self.run_batch(circuits, seed=seed, arrival_times=list(arrival_times))
 
     def run_batches(
         self,
         batches: Sequence[Sequence[QuantumCircuit]],
         seed: Optional[int] = None,
     ) -> List[TenantJobResult]:
-        """Run several independent batches and pool the per-job results."""
+        """Run several independent batches and pool the per-job results.
+
+        With an integer ``seed``, batch ``i`` deterministically runs with seed
+        ``seed + i``.  With ``seed=None`` every batch draws fresh, independent
+        OS entropy (it does *not* silently fall back to seeds 0, 1, 2, ...),
+        so repeated unseeded runs sample genuinely different executions.
+        """
         pooled: List[TenantJobResult] = []
-        base = 0 if seed is None else seed
         for index, batch in enumerate(batches):
-            pooled.extend(self.run_batch(batch, seed=base + index))
+            batch_seed = None if seed is None else seed + index
+            pooled.extend(self.run_batch(batch, seed=batch_seed))
         return pooled
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _try_place(
-        self, job: Job, cloud: QuantumCloud, rng: np.random.Generator
-    ) -> Optional[Placement]:
-        if job.num_qubits > cloud.total_computing_available():
-            return None
-        try:
-            return self.placement_algorithm.place(
-                job.circuit, cloud, seed=int(rng.integers(1 << 31))
-            )
-        except (MappingError, CommunityError, PlacementError):
-            return None
-
-    @staticmethod
-    def _build_requests(runnable: Sequence[_ActiveJob]) -> List[AllocationRequest]:
-        requests: List[AllocationRequest] = []
-        for state in runnable:
-            for node_id in state.ready:
-                operation = state.remote_dag.operation(node_id)
-                requests.append(
-                    AllocationRequest(
-                        op_id=(state.job.job_id, node_id),
-                        qpu_a=operation.qpus[0],
-                        qpu_b=operation.qpus[1],
-                        priority=operation.priority,
-                    )
-                )
-        return requests
-
-    @staticmethod
-    def _advance_idle_time(
-        time: float, pending: Sequence[Job], active: Dict[str, _ActiveJob]
-    ) -> Tuple[float, bool]:
-        """Advance time to the next arrival or completion when nothing is runnable."""
-        candidates: List[float] = []
-        candidates.extend(
-            job.arrival_time for job in pending if job.arrival_time > time
-        )
-        candidates.extend(
-            state.completion_time
-            for state in active.values()
-            if state.completion_time is not None and state.completion_time > time
-        )
-        if not candidates:
-            return time, False
-        return min(candidates), True
-
-    def _result(self, state: _ActiveJob) -> TenantJobResult:
-        assert state.completion_time is not None
-        return TenantJobResult(
-            job_id=state.job.job_id,
-            circuit_name=state.job.circuit.name,
-            arrival_time=state.job.arrival_time,
-            placement_time=state.start_time,
-            completion_time=state.completion_time,
-            num_remote_operations=state.remote_dag.num_operations,
-            num_qpus_used=state.placement.num_qpus_used,
-        )

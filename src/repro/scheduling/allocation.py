@@ -15,12 +15,24 @@ from typing import Dict, Iterable, Mapping, Tuple
 
 @dataclass(frozen=True)
 class AllocationRequest:
-    """One front-layer remote operation asking for EPR attempts this round."""
+    """One front-layer remote operation asking for EPR attempts this round.
+
+    The two endpoints must live on *different* QPUs: a same-QPU gate is local
+    and needs no EPR pairs, and charging such a request would double-count the
+    QPU's communication capacity.  Construction rejects it outright.
+    """
 
     op_id: Tuple[str, int]
     qpu_a: int
     qpu_b: int
     priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.qpu_a == self.qpu_b:
+            raise ValueError(
+                f"request {self.op_id} connects QPU {self.qpu_a} to itself; "
+                "same-QPU operations are local and need no allocation"
+            )
 
     @property
     def qpus(self) -> Tuple[int, int]:
@@ -63,7 +75,7 @@ def max_allocatable(
 def charge(
     request: AllocationRequest, amount: int, remaining: Dict[int, int]
 ) -> None:
-    """Deduct an granted allocation from the remaining per-QPU capacity."""
+    """Deduct a granted allocation from the remaining per-QPU capacity."""
     if amount <= 0:
         return
     remaining[request.qpu_a] = remaining.get(request.qpu_a, 0) - amount

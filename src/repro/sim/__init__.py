@@ -1,7 +1,8 @@
 """Simulation substrate: latency model, event loop, network executor."""
 
 from .latency import DEFAULT_LATENCY, LatencyModel
-from .engine import EventHandle, EventLoop, SimulationError
+from .engine import EventHandle, EventLoop, RepeatingEventHandle, SimulationError
+from .front_layer import FrontLayer
 from .executor import (
     ExecutionError,
     JobExecutionResult,
@@ -16,9 +17,11 @@ __all__ = [
     "EventHandle",
     "EventLoop",
     "ExecutionError",
+    "FrontLayer",
     "JobExecutionResult",
     "LatencyModel",
     "NetworkExecutor",
+    "RepeatingEventHandle",
     "ScheduledJob",
     "SimulationError",
     "local_execution_time",

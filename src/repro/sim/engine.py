@@ -1,10 +1,15 @@
 """A small heap-based discrete-event simulation engine.
 
-The multi-tenant cluster simulator schedules job arrivals, placement decisions
-and job completions as timestamped events; this engine provides the event loop
-they share.  It is deliberately minimal (no processes or coroutines): events
-are callbacks executed in timestamp order, ties broken by insertion order so
-runs are deterministic.
+The multi-tenant cluster simulator (:mod:`repro.multitenant.cluster_sim`) runs
+entirely on this loop: job arrivals, placement passes, EPR rounds and job
+completions are timestamped events, so idle gaps are skipped in O(log n)
+instead of being stepped through round by round.  The engine is deliberately
+minimal (no processes or coroutines): events are callbacks executed in
+timestamp order, ties broken by insertion order so runs are deterministic.
+Events can be cancelled (:meth:`EventHandle.cancel`), moved
+(:meth:`EventLoop.reschedule`) or made recurring
+(:meth:`EventLoop.schedule_repeating`), and :meth:`EventLoop.run` accepts a
+``max_events`` guard that bounds runaway simulations.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ class _QueuedEvent:
     callback: Callable[["EventLoop"], None] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    executed: bool = field(compare=False, default=False)
 
 
 class EventHandle:
@@ -48,6 +54,34 @@ class EventHandle:
     @property
     def cancelled(self) -> bool:
         return self._event.cancelled
+
+    @property
+    def executed(self) -> bool:
+        return self._event.executed
+
+
+class RepeatingEventHandle:
+    """Handle for a recurring event; cancelling stops all future firings."""
+
+    def __init__(self) -> None:
+        self._current: Optional[EventHandle] = None
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        if self._current is not None:
+            self._current.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def next_time(self) -> Optional[float]:
+        """Timestamp of the next firing, or ``None`` once cancelled."""
+        if self._cancelled or self._current is None:
+            return None
+        return self._current.time
 
 
 class EventLoop:
@@ -96,6 +130,43 @@ class EventLoop:
             )
         return self.schedule(time - self._now, callback, label=label)
 
+    def reschedule(self, handle: EventHandle, time: float) -> EventHandle:
+        """Move a pending event to absolute ``time``, returning a fresh handle.
+
+        The original handle is cancelled; rescheduling an already-cancelled or
+        already-executed event is an error.
+        """
+        if handle.cancelled:
+            raise SimulationError("cannot reschedule a cancelled event")
+        if handle.executed:
+            raise SimulationError("cannot reschedule an event that already ran")
+        handle.cancel()
+        return self.schedule_at(time, handle._event.callback, label=handle.label)
+
+    def schedule_repeating(
+        self,
+        interval: float,
+        callback: Callable[["EventLoop"], None],
+        label: str = "",
+        start_delay: Optional[float] = None,
+    ) -> RepeatingEventHandle:
+        """Run ``callback`` every ``interval`` time units until cancelled.
+
+        The first firing happens after ``start_delay`` (default: one interval).
+        """
+        if interval <= 0:
+            raise SimulationError("repeating events need a positive interval")
+        handle = RepeatingEventHandle()
+
+        def fire(loop: "EventLoop") -> None:
+            callback(loop)
+            if not handle.cancelled:
+                handle._current = loop.schedule(interval, fire, label=label)
+
+        first = interval if start_delay is None else start_delay
+        handle._current = self.schedule(first, fire, label=label)
+        return handle
+
     def peek(self) -> Optional[float]:
         """Timestamp of the next pending event, or ``None`` when empty."""
         while self._queue and self._queue[0].cancelled:
@@ -110,6 +181,7 @@ class EventLoop:
                 continue
             self._now = event.time
             self.processed_events += 1
+            event.executed = True
             event.callback(self)
             return True
         return False

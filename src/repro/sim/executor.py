@@ -19,7 +19,7 @@ are done and its local critical path has elapsed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from ..circuits import QuantumCircuit
 from ..cloud import QuantumCloud
 from ..network import EPRModel
 from ..scheduling import AllocationRequest, NetworkScheduler, RemoteDAG
+from .front_layer import FrontLayer
 from .latency import DEFAULT_LATENCY, LatencyModel
 
 
@@ -66,36 +67,31 @@ class _JobState:
     job: ScheduledJob
     remote_dag: RemoteDAG
     local_time: float
-    pending_predecessors: Dict[int, int] = field(default_factory=dict)
-    ready: List[int] = field(default_factory=list)
-    completed: int = 0
-    last_finish: float = 0.0
+    front: FrontLayer = field(init=False, repr=False)
     rounds: int = 0
     done: bool = False
 
     def __post_init__(self) -> None:
-        for node_id, operation in self.remote_dag.operations.items():
-            self.pending_predecessors[node_id] = len(operation.predecessors)
-        self.ready = sorted(
-            node_id
-            for node_id, count in self.pending_predecessors.items()
-            if count == 0
-        )
-        self.last_finish = self.job.start_time
+        self.front = FrontLayer(self.remote_dag, start_time=self.job.start_time)
 
     @property
     def total_operations(self) -> int:
         return self.remote_dag.num_operations
 
+    @property
+    def ready(self) -> Set[int]:
+        return self.front.ready
+
+    @property
+    def completed(self) -> int:
+        return self.front.completed
+
+    @property
+    def last_finish(self) -> float:
+        return self.front.last_finish
+
     def finish_operation(self, node_id: int, finish_time: float) -> None:
-        self.completed += 1
-        self.last_finish = max(self.last_finish, finish_time)
-        self.ready.remove(node_id)
-        for successor in self.remote_dag.operation(node_id).successors:
-            self.pending_predecessors[successor] -= 1
-            if self.pending_predecessors[successor] == 0:
-                self.ready.append(successor)
-        self.ready.sort()
+        self.front.finish(node_id, finish_time)
 
 
 def local_execution_time(
@@ -236,16 +232,7 @@ class NetworkExecutor:
     def _build_requests(self, active: Sequence[_JobState]) -> List[AllocationRequest]:
         requests: List[AllocationRequest] = []
         for state in active:
-            for node_id in state.ready:
-                operation = state.remote_dag.operation(node_id)
-                requests.append(
-                    AllocationRequest(
-                        op_id=(state.job.job_id, node_id),
-                        qpu_a=operation.qpus[0],
-                        qpu_b=operation.qpus[1],
-                        priority=operation.priority,
-                    )
-                )
+            requests.extend(state.front.requests(state.job.job_id))
         return requests
 
     def _result(self, state: _JobState, rounds: int) -> JobExecutionResult:

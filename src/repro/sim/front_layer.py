@@ -1,0 +1,68 @@
+"""Shared front-layer tracking for remote-operation DAGs.
+
+Both network simulators (the single-batch :class:`~repro.sim.NetworkExecutor`
+and the event-driven multi-tenant cluster simulator) execute a
+:class:`~repro.scheduling.RemoteDAG` the same way: every EPR round, the
+*front layer* -- the remote operations whose predecessors have all finished --
+competes for communication qubits, and a success unlocks its successors.
+This module holds that bookkeeping in one place, with an indexed ready set so
+finishing an operation is O(successors) instead of the O(front * log front)
+of a re-sorted ready list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..scheduling import AllocationRequest, RemoteDAG
+
+
+class FrontLayer:
+    """Tracks the ready front of one job's remote DAG as operations finish."""
+
+    __slots__ = ("dag", "pending_predecessors", "ready", "completed", "last_finish")
+
+    def __init__(self, dag: RemoteDAG, start_time: float = 0.0) -> None:
+        self.dag = dag
+        self.pending_predecessors: Dict[int, int] = {
+            node_id: len(operation.predecessors)
+            for node_id, operation in dag.operations.items()
+        }
+        self.ready: Set[int] = {
+            node for node, count in self.pending_predecessors.items() if count == 0
+        }
+        self.completed = 0
+        self.last_finish = start_time
+
+    @property
+    def done(self) -> bool:
+        return self.completed == self.dag.num_operations
+
+    def ready_nodes(self) -> List[int]:
+        """Front-layer node ids in deterministic (ascending) order."""
+        return sorted(self.ready)
+
+    def finish(self, node_id: int, finish_time: float) -> None:
+        """Mark a ready operation finished, unlocking its successors."""
+        self.completed += 1
+        self.last_finish = max(self.last_finish, finish_time)
+        self.ready.remove(node_id)
+        for successor in self.dag.operation(node_id).successors:
+            self.pending_predecessors[successor] -= 1
+            if self.pending_predecessors[successor] == 0:
+                self.ready.add(successor)
+
+    def requests(self, job_id: str) -> List[AllocationRequest]:
+        """Allocation requests for the current front layer, in node-id order."""
+        requests: List[AllocationRequest] = []
+        for node_id in self.ready_nodes():
+            operation = self.dag.operation(node_id)
+            requests.append(
+                AllocationRequest(
+                    op_id=(job_id, node_id),
+                    qpu_a=operation.qpus[0],
+                    qpu_b=operation.qpus[1],
+                    priority=operation.priority,
+                )
+            )
+        return requests

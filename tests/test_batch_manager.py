@@ -88,3 +88,33 @@ class TestFifoOrdering:
         b = make_job(4, 2, arrival=0.0)
         ordered = fifo_batch_manager().order([b, a])
         assert ordered == [b, a]
+
+
+class TestArrivalFilter:
+    """``order(jobs, now=...)`` is the event-driven simulator's admissible
+    queue at one decision point: not-yet-arrived jobs are excluded."""
+
+    def test_now_excludes_future_arrivals(self):
+        early = make_job(4, 2, arrival=0.0, name="early")
+        late = make_job(4, 2, arrival=50.0, name="late")
+        ordered = fifo_batch_manager().order([early, late], now=10.0)
+        assert ordered == [early]
+
+    def test_now_keeps_jobs_arriving_exactly_now(self):
+        job = make_job(4, 2, arrival=10.0)
+        assert priority_batch_manager().order([job], now=10.0) == [job]
+
+    def test_no_now_keeps_everything(self):
+        early = make_job(4, 2, arrival=0.0)
+        late = make_job(4, 2, arrival=50.0)
+        assert len(priority_batch_manager().order([early, late])) == 2
+
+    def test_select_next_with_now(self):
+        early = make_job(4, 2, arrival=0.0)
+        late = make_job(2, 1, arrival=50.0)
+        assert fifo_batch_manager().select_next([late, early], now=0.0) is early
+
+    def test_select_next_nothing_arrived_raises(self):
+        late = make_job(4, 2, arrival=50.0)
+        with pytest.raises(ValueError):
+            fifo_batch_manager().select_next([late], now=0.0)

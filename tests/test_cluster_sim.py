@@ -9,18 +9,31 @@ from repro.multitenant import (
     ClusterSimulationError,
     MultiTenantSimulator,
     fifo_batch_manager,
+    poisson_arrivals,
     priority_batch_manager,
 )
 from repro.placement import CloudQCPlacement
 from repro.scheduling import CloudQCScheduler
 
 
-def make_simulator(cloud, batch_manager=None):
+def make_simulator(cloud, batch_manager=None, **kwargs):
     return MultiTenantSimulator(
         cloud,
         placement_algorithm=CloudQCPlacement(),
         network_scheduler=CloudQCScheduler(),
         batch_manager=batch_manager or priority_batch_manager(),
+        **kwargs,
+    )
+
+
+def contended_cloud(epr_success_probability=1.0):
+    """Two QPUs that can hold one 24-qubit job plus one small job."""
+    topology = CloudTopology.line(2)
+    return QuantumCloud(
+        topology,
+        computing_qubits_per_qpu=16,
+        communication_qubits_per_qpu=2,
+        epr_success_probability=epr_success_probability,
     )
 
 
@@ -55,15 +68,8 @@ class TestBatchExecution:
     def test_contention_slows_jobs_down(self):
         # A cloud that can run one 24-qubit job at a time: two identical jobs
         # must serialise, so the second one's JCT includes queueing delay.
-        topology = CloudTopology.line(2)
-        cloud = QuantumCloud(
-            topology,
-            computing_qubits_per_qpu=16,
-            communication_qubits_per_qpu=2,
-            epr_success_probability=1.0,
-        )
         circuits = [ghz(24), ghz(24)]
-        results = make_simulator(cloud).run_batch(circuits, seed=1)
+        results = make_simulator(contended_cloud()).run_batch(circuits, seed=1)
         delays = sorted(r.queueing_delay for r in results)
         assert delays[0] == 0.0
         assert delays[1] > 0.0
@@ -72,6 +78,31 @@ class TestBatchExecution:
         results = make_simulator(default_cloud).run_batch([ghz(8), ghz(10)], seed=1)
         assert all(r.num_remote_operations == 0 for r in results)
         assert all(r.num_qpus_used == 1 for r in results)
+
+
+class TestGoldenBatchResults:
+    """Exact batch-mode numbers, pinned when the simulator moved onto the
+    event engine: pure batch mode must stay bit-identical to the original
+    round-stepped loop so the Figs. 14-17 numbers do not move."""
+
+    def test_default_cloud_batch_values(self):
+        cloud = QuantumCloud.default(seed=7)
+        results = make_simulator(cloud).run_batch(
+            [ghz(24), ising(34), ghz(16)], seed=4
+        )
+        by_name = {r.circuit_name: r for r in results}
+        assert by_name["ghz_n24"].completion_time == pytest.approx(23.1)
+        assert by_name["ising_n34"].completion_time == pytest.approx(36.0)
+        assert by_name["ghz_n16"].completion_time == pytest.approx(15.1)
+        assert all(r.placement_time == 0.0 for r in results)
+
+    def test_contended_batch_values(self):
+        results = make_simulator(contended_cloud()).run_batch(
+            [ghz(24), ghz(24)], seed=1
+        )
+        ordered = sorted(results, key=lambda r: r.placement_time)
+        assert [r.placement_time for r in ordered] == pytest.approx([0.0, 23.1])
+        assert [r.completion_time for r in ordered] == pytest.approx([23.1, 46.2])
 
 
 class TestArrivalTimes:
@@ -89,6 +120,54 @@ class TestArrivalTimes:
                 [ghz(8)], seed=1, arrival_times=[0.0, 1.0]
             )
 
+    def test_negative_arrival_times_rejected(self, default_cloud):
+        with pytest.raises(ValueError):
+            make_simulator(default_cloud).run_batch(
+                [ghz(8)], seed=1, arrival_times=[-1.0]
+            )
+
+    def test_arrival_starvation_regression(self):
+        """A job arriving while EPR rounds are in flight is placed at its
+        arrival event when capacity is free -- it must not wait for another
+        job's completion (the bug of the original round-stepped loop)."""
+        cloud = contended_cloud(epr_success_probability=0.02)
+        simulator = make_simulator(cloud, fifo_batch_manager())
+        # ghz(24) spans both QPUs and keeps EPR rounds in flight; ghz(4) fits
+        # into the free computing qubits and needs no network at all.
+        results = simulator.run_stream(
+            [ghz(24), ghz(4)], arrival_times=[0.0, 25.0], seed=11
+        )
+        big, small = sorted(results, key=lambda r: r.arrival_time)
+        # Premise: the big job is still running when the small one arrives
+        # (its EPR rounds tick every 10 units, so t=25 is mid-round).
+        assert big.completion_time > small.arrival_time
+        # The fix: placed exactly at the arrival event, not at big's completion.
+        assert small.placement_time == small.arrival_time == 25.0
+        assert small.num_remote_operations == 0
+        assert small.completion_time < big.completion_time
+
+    def test_stream_matches_run_batch_with_same_arrivals(self, default_cloud):
+        circuits = [ghz(16), ghz(24), ghz(16)]
+        arrivals = poisson_arrivals(3, rate=0.01, seed=5)
+        simulator = make_simulator(default_cloud, fifo_batch_manager())
+        stream = simulator.run_stream(circuits, arrivals, seed=2)
+        batch = simulator.run_batch(circuits, seed=2, arrival_times=arrivals)
+        assert [(r.circuit_name, r.placement_time, r.completion_time) for r in stream] == [
+            (r.circuit_name, r.placement_time, r.completion_time) for r in batch
+        ]
+
+    def test_stream_requires_arrivals(self, default_cloud):
+        with pytest.raises(ValueError):
+            make_simulator(default_cloud).run_stream([ghz(8)], None, seed=1)
+
+
+class TestEventGuards:
+    def test_max_events_guard(self):
+        cloud = contended_cloud(epr_success_probability=0.5)
+        simulator = make_simulator(cloud, max_events=3)
+        with pytest.raises(ClusterSimulationError, match="3 events"):
+            simulator.run_batch([ghz(24), ghz(24)], seed=1)
+
 
 class TestBatchOrderingEffects:
     def test_priority_and_fifo_both_finish_everything(self, default_cloud):
@@ -104,3 +183,24 @@ class TestBatchOrderingEffects:
         batches = [[ghz(16), ising(34)], [ghz(24)]]
         results = simulator.run_batches(batches, seed=3)
         assert len(results) == 3
+
+    def test_run_batches_seeded_is_deterministic(self, default_cloud):
+        simulator = make_simulator(default_cloud)
+        batches = [[ghz(24), ising(34)], [ghz(24), ghz(16)]]
+        a = simulator.run_batches(batches, seed=3)
+        b = simulator.run_batches(batches, seed=3)
+        assert [r.completion_time for r in a] == [r.completion_time for r in b]
+
+    def test_run_batches_unseeded_draws_fresh_entropy(self):
+        # seed=None must not degrade to the fixed seeds 0, 1, 2, ...: repeated
+        # unseeded runs should sample different EPR outcomes.  Three runs of a
+        # two-batch contended workload agreeing by chance is astronomically
+        # unlikely (each remote op takes a geometric number of rounds).
+        cloud = contended_cloud(epr_success_probability=0.3)
+        simulator = make_simulator(cloud)
+        batches = [[ghz(24), ghz(24)], [ghz(24)]]
+        outcomes = {
+            tuple(r.completion_time for r in simulator.run_batches(batches))
+            for _ in range(3)
+        }
+        assert len(outcomes) > 1

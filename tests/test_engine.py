@@ -110,3 +110,82 @@ class TestControl:
             loop.schedule(delay, lambda env: None)
         loop.run()
         assert loop.processed_events == 3
+
+
+class TestReschedule:
+    def test_reschedule_moves_event(self):
+        loop = EventLoop()
+        seen = []
+        handle = loop.schedule(5.0, lambda env: seen.append(env.now))
+        moved = loop.reschedule(handle, 2.0)
+        loop.run()
+        assert seen == [2.0]
+        assert handle.cancelled
+        assert not moved.cancelled
+
+    def test_reschedule_can_postpone(self):
+        loop = EventLoop()
+        seen = []
+        handle = loop.schedule(1.0, lambda env: seen.append(env.now))
+        loop.reschedule(handle, 9.0)
+        loop.run()
+        assert seen == [9.0]
+
+    def test_reschedule_cancelled_event_rejected(self):
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda env: None)
+        handle.cancel()
+        with pytest.raises(SimulationError):
+            loop.reschedule(handle, 2.0)
+
+    def test_reschedule_executed_event_rejected(self):
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda env: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.reschedule(handle, 2.0)
+
+
+class TestRepeating:
+    def test_repeating_event_fires_every_interval(self):
+        loop = EventLoop()
+        times = []
+        handle = loop.schedule_repeating(2.0, lambda env: times.append(env.now))
+        loop.run(until=7.0)
+        assert times == [2.0, 4.0, 6.0]
+        assert handle.next_time == 8.0
+
+    def test_repeating_event_start_delay(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule_repeating(5.0, lambda env: times.append(env.now), start_delay=0.5)
+        loop.run(until=11.0)
+        assert times == [0.5, 5.5, 10.5]
+
+    def test_cancel_stops_future_firings(self):
+        loop = EventLoop()
+        times = []
+        handle = loop.schedule_repeating(1.0, lambda env: times.append(env.now))
+
+        def stop(env):
+            handle.cancel()
+
+        loop.schedule(2.5, stop)
+        loop.run()
+        assert times == [1.0, 2.0]
+        assert handle.cancelled
+        assert handle.next_time is None
+
+    def test_cancel_from_inside_callback(self):
+        loop = EventLoop()
+        times = []
+        handle = loop.schedule_repeating(
+            1.0, lambda env: (times.append(env.now), handle.cancel())
+        )
+        loop.run()
+        assert times == [1.0]
+
+    def test_non_positive_interval_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule_repeating(0.0, lambda env: None)

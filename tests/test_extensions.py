@@ -10,7 +10,12 @@ from repro.analysis import ascii_cdf_plot, ascii_line_plot, sparkline
 from repro.circuits import InteractionGraph, QuantumCircuit
 from repro.circuits.library import get_circuit, hardware_efficient_ansatz, qaoa
 from repro.cloud import CloudTopology, QuantumCloud
-from repro.multitenant import bursty_arrivals, poisson_arrivals, uniform_arrivals
+from repro.multitenant import (
+    bursty_arrivals,
+    poisson_arrivals,
+    trace_arrivals,
+    uniform_arrivals,
+)
 from repro.placement import (
     CloudQCPlacement,
     ExhaustivePlacement,
@@ -145,6 +150,23 @@ class TestArrivalProcesses:
         arrivals = bursty_arrivals(10, burst_size=4, burst_gap=50.0, jitter=1.0, seed=3)
         assert arrivals == sorted(arrivals)
 
+    def test_trace_arrivals_rebases_and_sorts(self):
+        # Raw epoch-style timestamps in arbitrary order.
+        trace = [1_000_050.0, 1_000_000.0, 1_000_020.0]
+        assert trace_arrivals(trace) == [0.0, 20.0, 50.0]
+
+    def test_trace_arrivals_scales_and_offsets(self):
+        assert trace_arrivals([100.0, 101.0, 104.0], start=5.0, time_scale=10.0) == [
+            5.0,
+            15.0,
+            45.0,
+        ]
+
+    def test_trace_arrivals_edge_cases(self):
+        assert trace_arrivals([]) == []
+        with pytest.raises(ValueError):
+            trace_arrivals([1.0, 2.0], time_scale=0.0)
+
     def test_arrivals_drive_the_cluster_simulator(self, default_cloud):
         from repro.circuits.library import ghz
         from repro.multitenant import MultiTenantSimulator, fifo_batch_manager
@@ -158,7 +180,7 @@ class TestArrivalProcesses:
             network_scheduler=CloudQCScheduler(),
             batch_manager=fifo_batch_manager(),
         )
-        results = simulator.run_batch(circuits, seed=1, arrival_times=arrivals)
+        results = simulator.run_stream(circuits, arrivals, seed=1)
         assert len(results) == 3
         assert all(r.placement_time >= r.arrival_time for r in results)
 

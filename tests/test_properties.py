@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import networkx as nx
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -57,10 +58,11 @@ def weighted_graphs(draw, max_nodes: int = 12) -> nx.Graph:
 
 
 @st.composite
-def allocation_problems(draw):
+def allocation_problems(draw, max_capacity: int = 6):
     num_qpus = draw(st.integers(min_value=2, max_value=6))
     capacity = {
-        qpu: draw(st.integers(min_value=0, max_value=6)) for qpu in range(num_qpus)
+        qpu: draw(st.integers(min_value=0, max_value=max_capacity))
+        for qpu in range(num_qpus)
     }
     num_requests = draw(st.integers(min_value=0, max_value=10))
     requests = []
@@ -69,7 +71,7 @@ def allocation_problems(draw):
         b = draw(st.integers(min_value=0, max_value=num_qpus - 1))
         if a == b:
             b = (a + 1) % num_qpus
-        priority = draw(st.integers(min_value=0, max_value=10))
+        priority = draw(st.integers(min_value=-5, max_value=10))
         requests.append(
             AllocationRequest(op_id=("job", index), qpu_a=a, qpu_b=b, priority=priority)
         )
@@ -198,13 +200,17 @@ def test_remote_dag_counts_cross_partition_gates(circuit, num_qpus):
     assert all(0 <= op.priority < max(dag.num_operations, 1) or dag.num_operations == 0 for op in dag)
 
 
-@given(allocation_problems())
+@given(allocation_problems(max_capacity=12), st.integers(min_value=0, max_value=999))
 @settings(max_examples=60, deadline=None)
-def test_all_schedulers_respect_capacity(problem):
+def test_all_schedulers_respect_capacity(problem, rng_seed):
+    """Eq. 8: every policy's allocation is feasible for arbitrary request sets
+    and capacities, including the redundancy-capped CloudQC variants."""
     requests, capacity = problem
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(rng_seed)
     for scheduler in (
         CloudQCScheduler(),
+        CloudQCScheduler(max_redundancy=1),
+        CloudQCScheduler(max_redundancy=3),
         GreedyScheduler(),
         AverageScheduler(),
         RandomScheduler(),
@@ -212,6 +218,14 @@ def test_all_schedulers_respect_capacity(problem):
         allocation = scheduler.allocate(requests, capacity, rng=rng)
         assert is_feasible(requests, allocation, capacity)
         assert all(amount >= 1 for amount in allocation.values())
+        assert set(allocation) <= {request.op_id for request in requests}
+
+
+@given(st.integers(min_value=0, max_value=50))
+@settings(max_examples=20, deadline=None)
+def test_same_qpu_allocation_requests_always_rejected(qpu):
+    with pytest.raises(ValueError):
+        AllocationRequest(op_id=("job", 0), qpu_a=qpu, qpu_b=qpu)
 
 
 @given(allocation_problems())

@@ -49,6 +49,12 @@ class TestAllocationHelpers:
         assert not is_feasible(competing_requests, {("job", 0): 4}, CAPACITY)
         assert not is_feasible(competing_requests, {("job", 0): -1}, CAPACITY)
 
+    def test_same_qpu_request_rejected(self):
+        # A same-QPU operation is local and needs no EPR pairs; accepting it
+        # would double-count that QPU's communication capacity in charge().
+        with pytest.raises(ValueError, match="connects QPU 2 to itself"):
+            request(0, 2, 2)
+
 
 class TestCloudQCScheduler:
     def test_no_starvation_when_capacity_allows(self, competing_requests):
