@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the project docs (no third-party dependencies).
+
+Scans the given markdown files (default: README.md, ROADMAP.md, docs/*.md)
+for ``[text](target)`` links and verifies that
+
+* relative file targets exist on disk (anchors are split off first), and
+* anchor targets (``#section`` or ``file.md#section``) match a heading in
+  the target markdown file, using GitHub's heading-slug rules.
+
+External ``http(s)://`` links are not fetched (CI must not depend on the
+network); they are only checked for an empty target.  Exit code is non-zero
+if any link is broken, printing one line per problem.
+
+Run from the repo root::
+
+    python scripts/check_doc_links.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: Inline markdown links: [text](target) — images share the syntax.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]*)(?:\s+\"[^\"]*\")?\)")
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_PATTERN = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(markdown: str) -> List[str]:
+    without_code = CODE_FENCE_PATTERN.sub("", markdown)
+    return [github_slug(match) for match in HEADING_PATTERN.findall(without_code)]
+
+
+def check_file(path: Path, repo_root: Path) -> List[str]:
+    problems: List[str] = []
+    text = path.read_text(encoding="utf-8")
+    for target in LINK_PATTERN.findall(CODE_FENCE_PATTERN.sub("", text)):
+        if not target:
+            problems.append(f"{path}: empty link target")
+            continue
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            linked = (path.parent / file_part).resolve()
+            if not linked.exists():
+                problems.append(f"{path}: broken link -> {target}")
+                continue
+            if not str(linked).startswith(str(repo_root) + os.sep):
+                problems.append(f"{path}: link escapes the repo -> {target}")
+                continue
+        else:
+            linked = path
+        if anchor and linked.suffix == ".md":
+            slugs = heading_slugs(linked.read_text(encoding="utf-8"))
+            if anchor not in slugs:
+                problems.append(
+                    f"{path}: anchor #{anchor} not found in {linked.name} "
+                    f"(headings: {', '.join(slugs) or 'none'})"
+                )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [repo_root / "README.md", repo_root / "ROADMAP.md"]
+        files += sorted((repo_root / "docs").glob("*.md"))
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"missing file: {f}")
+        return 1
+    problems: List[Tuple[str]] = []
+    for f in files:
+        problems.extend(check_file(f, repo_root))
+    for problem in problems:
+        print(problem)
+    def display(f: Path) -> str:
+        try:
+            return str(f.resolve().relative_to(repo_root))
+        except ValueError:
+            return str(f)
+
+    checked = ", ".join(display(f) for f in files)
+    if problems:
+        print(f"\n{len(problems)} broken link(s) across {checked}")
+        return 1
+    print(f"all links ok in {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,4 +1,8 @@
-"""Multi-tenant layer: batch manager, workloads, cluster simulation, metrics."""
+"""Multi-tenant layer: batch manager, admission control, workloads, simulation.
+
+See ``docs/architecture.md`` for how these pieces fit into the event-driven
+simulation flow.
+"""
 
 from .batch_manager import (
     BatchManager,
@@ -7,6 +11,14 @@ from .batch_manager import (
     fifo_batch_manager,
     priority_batch_manager,
 )
+from .admission import (
+    AdmissionPolicy,
+    AdmitAll,
+    JobOutcome,
+    QueueDepthThreshold,
+    QueueingDeadline,
+    TokenBucket,
+)
 from .arrivals import (
     bursty_arrivals,
     poisson_arrivals,
@@ -14,18 +26,28 @@ from .arrivals import (
     uniform_arrivals,
 )
 from .workloads import (
+    TRACE_CIRCUIT_POOL,
     WORKLOADS,
+    ClusterTrace,
     generate_batch,
     generate_batches,
+    generate_cluster_trace,
     workload_circuits,
     workload_names,
 )
 from .metrics import (
     CompletionStats,
+    QueueingDelayStats,
+    StreamSummary,
     cdf_at_percentile,
     completion_cdf,
     fraction_completed_by,
     makespan,
+    max_queue_depth,
+    outcome_counts,
+    queue_depth_timeseries,
+    queueing_delays,
+    rejection_rate,
     relative_to_baseline,
 )
 from .cluster_sim import (
@@ -35,13 +57,23 @@ from .cluster_sim import (
 )
 
 __all__ = [
+    "AdmissionPolicy",
+    "AdmitAll",
     "BatchManager",
     "BatchManagerConfig",
     "BatchMode",
     "ClusterSimulationError",
+    "ClusterTrace",
     "CompletionStats",
+    "JobOutcome",
     "MultiTenantSimulator",
+    "QueueDepthThreshold",
+    "QueueingDeadline",
+    "QueueingDelayStats",
+    "StreamSummary",
     "TenantJobResult",
+    "TokenBucket",
+    "TRACE_CIRCUIT_POOL",
     "WORKLOADS",
     "bursty_arrivals",
     "cdf_at_percentile",
@@ -50,9 +82,15 @@ __all__ = [
     "fraction_completed_by",
     "generate_batch",
     "generate_batches",
+    "generate_cluster_trace",
     "makespan",
+    "max_queue_depth",
+    "outcome_counts",
     "poisson_arrivals",
     "priority_batch_manager",
+    "queue_depth_timeseries",
+    "queueing_delays",
+    "rejection_rate",
     "relative_to_baseline",
     "trace_arrivals",
     "uniform_arrivals",

@@ -1,0 +1,164 @@
+"""Admission control / back-pressure for the streaming multi-tenant simulator.
+
+In the incoming-job mode (Sec. V-B) jobs arrive over time, and under overload
+the pending queue grows without bound: every queued job makes each placement
+pass slower and pushes the tail queueing delay up.  An *admission policy*
+decides, at the arrival event, whether a job enters the pending queue at all,
+and optionally bounds how long an admitted job may wait before it is dropped.
+The simulator reports dropped jobs in the
+:attr:`~repro.multitenant.TenantJobResult.outcome` field (``"rejected"`` at
+arrival, ``"expired"`` after queueing too long) instead of silently running
+them, so a replayed trace always yields one result per submitted job.
+
+Policies are deliberately small state machines driven by the event loop:
+
+* :class:`AdmitAll` -- the default; no back-pressure (pre-admission behavior).
+* :class:`QueueDepthThreshold` -- reject arrivals while the pending queue is
+  at or above a depth bound (classic load shedding).
+* :class:`TokenBucket` -- admit at a sustained rate with bounded bursts.
+* :class:`QueueingDeadline` -- admit everything, but drop jobs that are still
+  unplaced once their queueing delay reaches a bound (timeout back-pressure).
+
+See ``docs/architecture.md`` for where admission sits in the event-driven
+flow (arrival -> admission -> placement pass -> EPR rounds -> completion).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Optional
+
+from ..cloud import Job
+
+
+class JobOutcome(str, enum.Enum):
+    """Terminal state of a job in a multi-tenant run."""
+
+    #: Placed and executed to completion.
+    COMPLETED = "completed"
+    #: Turned away by the admission policy at its arrival event.
+    REJECTED = "rejected"
+    #: Admitted, but dropped from the pending queue when its queueing delay
+    #: reached the policy's deadline before a placement succeeded.
+    EXPIRED = "expired"
+
+
+class AdmissionPolicy:
+    """Decides which arriving jobs enter the pending queue.
+
+    Subclasses override :meth:`admit` (called once per arrival event) and
+    optionally :meth:`queueing_deadline` (an absolute simulation time after
+    which a still-pending job is dropped as :attr:`JobOutcome.EXPIRED`).
+    Policies may keep per-run state (e.g. the token bucket level); the
+    simulator calls :meth:`reset` at the start of every run, so one policy
+    instance can drive many runs reproducibly.
+    """
+
+    #: Human-readable policy name used in summaries and examples.
+    name: str = "admission"
+
+    def reset(self) -> None:
+        """Clear per-run state; called once before each simulation run."""
+
+    def admit(self, job: Job, now: float, queue_depth: int) -> bool:
+        """Return True to enqueue ``job``, False to reject it at arrival.
+
+        ``queue_depth`` is the number of already-admitted jobs still waiting
+        for placement at the arrival instant.
+        """
+        raise NotImplementedError
+
+    def queueing_deadline(self, job: Job) -> Optional[float]:
+        """Absolute time at which a still-pending ``job`` expires, or None."""
+        return None
+
+
+class AdmitAll(AdmissionPolicy):
+    """No back-pressure: every arrival is admitted (the default policy).
+
+    With this policy the streaming simulator behaves bit-identically to the
+    pre-admission-control code path (pinned by a regression test).
+    """
+
+    name = "admit-all"
+
+    def admit(self, job: Job, now: float, queue_depth: int) -> bool:
+        return True
+
+
+class QueueDepthThreshold(AdmissionPolicy):
+    """Reject arrivals while the pending queue is at or above ``max_depth``.
+
+    The simplest load-shedding rule: an arrival is admitted only if fewer
+    than ``max_depth`` admitted jobs are still waiting for placement, so the
+    pending queue never exceeds ``max_depth`` entries.
+    """
+
+    name = "queue-depth"
+
+    def __init__(self, max_depth: int) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = int(max_depth)
+
+    def admit(self, job: Job, now: float, queue_depth: int) -> bool:
+        return queue_depth < self.max_depth
+
+
+class TokenBucket(AdmissionPolicy):
+    """Admit at a sustained ``rate`` with bursts of up to ``capacity`` jobs.
+
+    The bucket starts full, refills continuously at ``rate`` tokens per
+    simulation time unit up to ``capacity``, and each admitted job consumes
+    one token; an arrival that finds less than one token is rejected.  No
+    randomness is involved, so runs stay deterministic.
+    """
+
+    name = "token-bucket"
+
+    def __init__(self, rate: float, capacity: float) -> None:
+        if not math.isfinite(rate) or rate <= 0:
+            raise ValueError("token refill rate must be positive and finite")
+        if not math.isfinite(capacity) or capacity < 1:
+            raise ValueError("bucket capacity must be at least 1 token")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self.reset()
+
+    def reset(self) -> None:
+        self._tokens = self.capacity
+        self._last_refill = 0.0
+
+    def admit(self, job: Job, now: float, queue_depth: int) -> bool:
+        elapsed = max(0.0, now - self._last_refill)
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+        self._last_refill = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class QueueingDeadline(AdmissionPolicy):
+    """Admit everything, but drop jobs queued longer than ``max_delay``.
+
+    Every admitted job gets an expiry event at ``arrival_time + max_delay``;
+    if a placement has not succeeded by then, the job leaves the queue as
+    :attr:`JobOutcome.EXPIRED`.  This bounds the worst-case queueing delay a
+    tenant can experience (at the cost of dropped work) and keeps overload
+    from growing the queue forever.
+    """
+
+    name = "deadline"
+
+    def __init__(self, max_delay: float) -> None:
+        if not math.isfinite(max_delay) or max_delay <= 0:
+            raise ValueError("max queueing delay must be positive and finite")
+        self.max_delay = float(max_delay)
+
+    def admit(self, job: Job, now: float, queue_depth: int) -> bool:
+        return True
+
+    def queueing_deadline(self, job: Job) -> Optional[float]:
+        return job.arrival_time + self.max_delay

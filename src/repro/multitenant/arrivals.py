@@ -11,6 +11,7 @@ becomes an event on the shared discrete-event loop.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Optional
 
 import numpy as np
@@ -29,8 +30,8 @@ def poisson_arrivals(
     """
     if num_jobs < 0:
         raise ValueError("num_jobs cannot be negative")
-    if rate <= 0:
-        raise ValueError("arrival rate must be positive")
+    if not math.isfinite(rate) or rate <= 0:
+        raise ValueError("arrival rate must be positive and finite")
     rng = np.random.default_rng(seed)
     gaps = rng.exponential(scale=1.0 / rate, size=num_jobs)
     return list(start + np.cumsum(gaps))
@@ -42,8 +43,8 @@ def uniform_arrivals(
     """Evenly spaced arrivals: one job every ``interval`` time units."""
     if num_jobs < 0:
         raise ValueError("num_jobs cannot be negative")
-    if interval < 0:
-        raise ValueError("interval cannot be negative")
+    if not math.isfinite(interval) or interval < 0:
+        raise ValueError("interval must be non-negative and finite")
     return [start + index * interval for index in range(num_jobs)]
 
 
@@ -82,16 +83,32 @@ def trace_arrivals(
 ) -> List[float]:
     """Replay a recorded submission trace as simulator arrival times.
 
-    ``trace`` holds raw timestamps in any unit and any order (e.g. epoch
-    seconds from a production job log).  They are sorted, rebased so the
+    ``trace`` holds raw timestamps in ascending submission order and any unit
+    (e.g. epoch seconds from a production job log).  They are rebased so the
     earliest lands at ``start``, and the gaps are multiplied by ``time_scale``
     to convert the trace's unit into simulator CX-time units (or to compress /
     stretch the workload).
+
+    An empty trace, non-finite timestamps, or out-of-order timestamps raise
+    ``ValueError``: a recorded trace with those properties is almost always a
+    parsing bug upstream, and silently sorting (the old behavior) would hide
+    it and replay a workload that never happened.
     """
-    if time_scale <= 0:
-        raise ValueError("time_scale must be positive")
-    times = sorted(float(timestamp) for timestamp in trace)
+    if not math.isfinite(time_scale) or time_scale <= 0:
+        raise ValueError("time_scale must be positive and finite")
+    times = [float(timestamp) for timestamp in trace]
     if not times:
-        return []
+        raise ValueError("trace is empty: nothing to replay")
+    for index, timestamp in enumerate(times):
+        if not math.isfinite(timestamp):
+            raise ValueError(
+                f"trace timestamp #{index} is not finite: {timestamp!r}"
+            )
+        if index > 0 and timestamp < times[index - 1]:
+            raise ValueError(
+                f"trace timestamps are not sorted: entry #{index} "
+                f"({timestamp}) precedes entry #{index - 1} ({times[index - 1]}); "
+                "sort the trace explicitly if the recording order is unreliable"
+            )
     first = times[0]
     return [start + (timestamp - first) * time_scale for timestamp in times]

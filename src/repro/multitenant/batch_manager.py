@@ -70,10 +70,9 @@ class BatchManager:
             return sorted(jobs, key=lambda job: job.arrival_time)
         # Known quirk, kept deliberately: the equal-metric tiebreak compares
         # job ids lexicographically, so "job-10" sorts before "job-9" when the
-        # process-global job counter crosses a power of ten.  Switching to a
-        # numeric tiebreak would reorder tied placements and move the pinned
-        # Figs. 14-17 batch numbers; re-baseline the figures before changing it
-        # (tracked in ROADMAP.md).
+        # process-global job counter crosses a power of ten.  Changing it moves
+        # the pinned Figs. 14-17 numbers; see docs/architecture.md
+        # ("Known quirk: priority-mode tiebreak") for the re-baseline plan.
         ordered = sorted(
             jobs,
             key=lambda job: (self.metric(job), job.job_id),

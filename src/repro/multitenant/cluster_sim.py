@@ -24,6 +24,14 @@ Everything that moves the simulation forward is a timestamped event on one
   the successes sampled for that round unlock successor operations and the
   next decision point runs.
 
+Every arrival first passes through the pluggable admission policy
+(:mod:`repro.multitenant.admission`): rejected jobs never enter the pending
+queue and are reported with ``outcome="rejected"``, and policies with a
+queueing deadline get an *expiry* event per admitted job that drops it as
+``outcome="expired"`` if placement has not succeeded in time.  The default
+:class:`~repro.multitenant.AdmitAll` policy admits everything and keeps the
+stream bit-identical to the pre-admission-control simulator.
+
 Idle gaps (no runnable remote operation) are skipped by scheduling the next
 tick directly at the next completion time; upcoming arrivals are already queued
 as events.  While rounds are in flight, completions are acted on at round
@@ -31,17 +39,22 @@ boundaries -- the scheduler's decision points -- which keeps pure batch mode
 (all arrivals at t=0) bit-identical to the original round-stepped simulator.
 Determinism comes from the event loop's insertion-order tiebreak plus a single
 seeded RNG consumed in a fixed order.
+
+The full event flow (arrival -> admission -> placement pass -> EPR rounds ->
+completion) and the engine contract it relies on are documented in
+``docs/architecture.md``.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
 from ..circuits import QuantumCircuit
-from ..cloud import Controller, Job, PlacementError, QuantumCloud
+from ..cloud import Controller, Job, JobStatus, PlacementError, QuantumCloud
 from ..community import CommunityError
 from ..network import EPRModel
 from ..placement import MappingError, Placement, PlacementAlgorithm
@@ -55,6 +68,7 @@ from ..sim import (
     SimulationError,
     local_execution_time,
 )
+from .admission import AdmissionPolicy, AdmitAll, JobOutcome
 from .batch_manager import BatchManager, priority_batch_manager
 
 
@@ -64,7 +78,14 @@ class ClusterSimulationError(RuntimeError):
 
 @dataclass
 class TenantJobResult:
-    """Outcome of one tenant job in a multi-tenant run."""
+    """Outcome of one tenant job in a multi-tenant run.
+
+    Jobs dropped by the admission policy are reported too: ``outcome`` is
+    :attr:`~repro.multitenant.JobOutcome.REJECTED` (turned away at arrival)
+    or :attr:`~repro.multitenant.JobOutcome.EXPIRED` (queued past the
+    policy's deadline), ``dropped_time`` records when the job left the
+    system, and the placement/completion times are NaN.
+    """
 
     job_id: str
     circuit_name: str
@@ -73,16 +94,35 @@ class TenantJobResult:
     completion_time: float
     num_remote_operations: int
     num_qpus_used: int
+    outcome: JobOutcome = JobOutcome.COMPLETED
+    dropped_time: Optional[float] = None
+
+    @property
+    def completed(self) -> bool:
+        """Whether the job ran to completion (vs. rejected / expired)."""
+        return self.outcome == JobOutcome.COMPLETED
 
     @property
     def job_completion_time(self) -> float:
-        """JCT measured from arrival (the paper's reported metric)."""
+        """JCT measured from arrival (the paper's reported metric).
+
+        NaN for jobs the admission policy dropped.
+        """
         return self.completion_time - self.arrival_time
 
     @property
     def queueing_delay(self) -> float:
-        """Time spent waiting for placement."""
-        return self.placement_time - self.arrival_time
+        """Time spent waiting in the pending queue.
+
+        For completed jobs this is the wait until placement; for expired jobs
+        the wait until the deadline dropped them.  Rejected jobs never queued,
+        so their delay is NaN.
+        """
+        if self.completed:
+            return self.placement_time - self.arrival_time
+        if self.outcome == JobOutcome.EXPIRED and self.dropped_time is not None:
+            return self.dropped_time - self.arrival_time
+        return math.nan
 
 
 @dataclass
@@ -145,8 +185,15 @@ class _EventDrivenBatch:
             self.cloud.topology, simulator.epr_success_probability
         )
         self.controller = Controller(self.cloud)
+        self.admission = simulator.admission_policy
+        self.admission.reset()
         self.pending: List[Job] = []
+        # Smallest computing-qubit need in the pending queue, maintained
+        # incrementally so a saturated decision point can skip the whole
+        # placement pass in O(1) instead of scanning thousands of jobs.
+        self.min_pending_qubits = math.inf
         self.active: Dict[str, _ActiveJob] = {}
+        self.expiry_handles: Dict[str, EventHandle] = {}
         self.results: List[TenantJobResult] = []
         self.resources_changed = True  # place on the first decision point
         self.round_end_time: Optional[float] = None
@@ -165,11 +212,51 @@ class _EventDrivenBatch:
     # ------------------------------------------------------------------
     def _arrival_callback(self, job: Job):
         def on_arrival(loop: EventLoop) -> None:
+            now = loop.now
+            if not self.admission.admit(job, now, len(self.pending)):
+                job.mark_failed()
+                self.results.append(
+                    self._dropped_result(job, JobOutcome.REJECTED, now)
+                )
+                return
             self.pending.append(job)
+            self.min_pending_qubits = min(
+                self.min_pending_qubits, job.num_qubits
+            )
+            deadline = self.admission.queueing_deadline(job)
+            if deadline is not None:
+                self.expiry_handles[job.job_id] = self.loop.schedule_at(
+                    max(deadline, now),
+                    self._expiry_callback(job),
+                    label=f"expire:{job.job_id}",
+                )
             self.resources_changed = True
-            self._request_tick(loop.now)
+            self._request_tick(now)
 
         return on_arrival
+
+    def _expiry_callback(self, job: Job):
+        def on_expiry(loop: EventLoop) -> None:
+            self.expiry_handles.pop(job.job_id, None)
+            if job.status is not JobStatus.PENDING:
+                return  # defensive: placement cancels the expiry event
+            self.pending = [
+                pending for pending in self.pending
+                if pending.job_id != job.job_id
+            ]
+            if job.num_qubits <= self.min_pending_qubits:
+                self._recompute_min_pending()
+            job.mark_failed()
+            self.results.append(
+                self._dropped_result(job, JobOutcome.EXPIRED, loop.now)
+            )
+
+        return on_expiry
+
+    def _recompute_min_pending(self) -> None:
+        self.min_pending_qubits = min(
+            (job.num_qubits for job in self.pending), default=math.inf
+        )
 
     def _request_tick(self, time: float) -> None:
         """Ensure a decision point runs no later than ``time``."""
@@ -232,8 +319,22 @@ class _EventDrivenBatch:
     def _place(self, now: float) -> None:
         if not (self.resources_changed and self.pending):
             return
+        available = self.cloud.total_computing_available()
+        if available < self.min_pending_qubits:
+            # Saturated cloud: every job in the queue would fail the capacity
+            # check, so the whole pass is a no-op (and would consume no RNG).
+            # Skipping it keeps a decision point O(1) under overload instead
+            # of O(queue length), which is what makes replaying multi-
+            # thousand-job traces tractable.
+            self.resources_changed = False
+            return
         placed: Set[str] = set()
         for job in self.simulator.batch_manager.order(self.pending, now=now):
+            # A successful placement reserves exactly one computing qubit per
+            # circuit qubit, so the running total stays exact without
+            # re-summing every QPU for every queued job.
+            if job.num_qubits > available:
+                continue
             placement = self._try_place(job)
             if placement is None:
                 continue
@@ -246,6 +347,7 @@ class _EventDrivenBatch:
                 local_time=local_execution_time(job.circuit, self.latency),
                 start_time=now,
             )
+            available -= job.num_qubits
             placed.add(job.job_id)
         if placed:
             # One rebuild instead of a per-job list.remove keeps a decision
@@ -253,6 +355,11 @@ class _EventDrivenBatch:
             self.pending = [
                 job for job in self.pending if job.job_id not in placed
             ]
+            for job_id in placed:
+                handle = self.expiry_handles.pop(job_id, None)
+                if handle is not None:
+                    handle.cancel()
+            self._recompute_min_pending()
         self.resources_changed = bool(placed)
 
     def _start_round(self, loop: EventLoop, runnable: Sequence[_ActiveJob]) -> None:
@@ -281,8 +388,7 @@ class _EventDrivenBatch:
         loop.schedule_at(round_end, self._on_round_end, label="epr-round")
 
     def _try_place(self, job: Job) -> Optional[Placement]:
-        if job.num_qubits > self.cloud.total_computing_available():
-            return None
+        """One placement attempt; the caller has already checked capacity."""
         try:
             return self.simulator.placement_algorithm.place(
                 job.circuit, self.cloud, seed=int(self.rng.integers(1 << 31))
@@ -296,6 +402,22 @@ class _EventDrivenBatch:
         for state in runnable:
             requests.extend(state.front.requests(state.job.job_id))
         return requests
+
+    @staticmethod
+    def _dropped_result(
+        job: Job, outcome: JobOutcome, dropped_time: float
+    ) -> TenantJobResult:
+        return TenantJobResult(
+            job_id=job.job_id,
+            circuit_name=job.circuit.name,
+            arrival_time=job.arrival_time,
+            placement_time=math.nan,
+            completion_time=math.nan,
+            num_remote_operations=0,
+            num_qpus_used=0,
+            outcome=outcome,
+            dropped_time=dropped_time,
+        )
 
     def _result(self, state: _ActiveJob) -> TenantJobResult:
         assert state.completion_time is not None
@@ -347,11 +469,13 @@ class MultiTenantSimulator:
         latency: LatencyModel = DEFAULT_LATENCY,
         epr_success_probability: Optional[float] = None,
         max_events: int = 5_000_000,
+        admission_policy: Optional[AdmissionPolicy] = None,
     ) -> None:
         self.template_cloud = cloud
         self.placement_algorithm = placement_algorithm
         self.network_scheduler = network_scheduler
         self.batch_manager = batch_manager or priority_batch_manager()
+        self.admission_policy = admission_policy or AdmitAll()
         self.latency = latency
         self.epr_success_probability = (
             cloud.epr_success_probability
@@ -412,6 +536,12 @@ class MultiTenantSimulator:
         :func:`~repro.multitenant.arrivals.trace_arrivals`.  Arrivals flow
         through the same event path as batch mode; batch mode is simply the
         special case where every arrival is at t=0.
+
+        Every arrival passes through the simulator's admission policy first
+        (:class:`~repro.multitenant.AdmitAll` by default); dropped jobs come
+        back with ``outcome`` set to ``"rejected"`` or ``"expired"`` and NaN
+        placement/completion times, so the result list always has one entry
+        per submitted circuit.
         """
         if arrival_times is None:
             raise ValueError("run_stream requires explicit arrival times")

@@ -1,11 +1,20 @@
-"""Metrics for multi-tenant runs: job completion time statistics and CDFs."""
+"""Metrics for multi-tenant runs: JCT statistics, CDFs, and stream health.
+
+Besides the completion-time statistics and CDFs of Figs. 14-17, this module
+aggregates the streaming-mode signals that admission control is judged by:
+the rejection rate, queueing-delay percentiles (p50/p95/p99), the pending
+queue depth over time, and the all-in-one :class:`StreamSummary`.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
+
+from .admission import JobOutcome
 
 
 @dataclass(frozen=True)
@@ -72,3 +81,139 @@ def relative_to_baseline(
 def makespan(times: Sequence[float]) -> float:
     """Completion time of the slowest job (batch makespan)."""
     return max(times) if times else 0.0
+
+
+# ----------------------------------------------------------------------
+# Streaming / admission-control metrics
+# ----------------------------------------------------------------------
+def outcome_counts(results: Iterable) -> Dict[str, int]:
+    """Per-outcome job counts of a stream run (completed / rejected / expired)."""
+    counts = {outcome.value: 0 for outcome in JobOutcome}
+    for result in results:
+        counts[JobOutcome(result.outcome).value] += 1
+    return counts
+
+
+def rejection_rate(results: Sequence) -> float:
+    """Fraction of submitted jobs the admission policy dropped.
+
+    Counts both arrivals rejected outright and admitted jobs that expired in
+    the queue; 0.0 for an empty result list.
+    """
+    if not results:
+        return 0.0
+    dropped = sum(1 for result in results if not result.completed)
+    return dropped / len(results)
+
+
+def queueing_delays(
+    results: Iterable, include_expired: bool = True
+) -> List[float]:
+    """Queueing delays of the jobs that entered the pending queue.
+
+    Completed jobs waited until placement; expired jobs waited until the
+    deadline dropped them (included by default since they experienced that
+    delay too).  Rejected jobs never queued and are always excluded.
+    """
+    delays: List[float] = []
+    for result in results:
+        if result.outcome == JobOutcome.REJECTED:
+            continue
+        if result.outcome == JobOutcome.EXPIRED and not include_expired:
+            continue
+        delay = result.queueing_delay
+        if not math.isnan(delay):
+            delays.append(delay)
+    return delays
+
+
+@dataclass(frozen=True)
+class QueueingDelayStats:
+    """p50/p95/p99 queueing delay of the jobs that entered the queue."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def from_results(
+        cls, results: Iterable, include_expired: bool = True
+    ) -> "QueueingDelayStats":
+        delays = queueing_delays(results, include_expired=include_expired)
+        if not delays:
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0)
+        array = np.asarray(delays, dtype=float)
+        return cls(
+            count=int(array.size),
+            mean=float(array.mean()),
+            p50=float(np.percentile(array, 50)),
+            p95=float(np.percentile(array, 95)),
+            p99=float(np.percentile(array, 99)),
+        )
+
+
+def queue_depth_timeseries(results: Iterable) -> List[Tuple[float, int]]:
+    """Pending-queue depth over time, as (time, depth) step points.
+
+    Each admitted job contributes +1 at its arrival and -1 when it leaves
+    the queue (placement for completed jobs, the drop time for expired
+    ones); rejected jobs never enter the queue.  Events at the same
+    timestamp are netted, so a job placed at its own arrival instant does
+    not register as a depth change.
+    """
+    deltas: Dict[float, int] = {}
+    for result in results:
+        if result.outcome == JobOutcome.REJECTED:
+            continue
+        departure = (
+            result.placement_time if result.completed else result.dropped_time
+        )
+        if departure is None or math.isnan(departure):
+            continue
+        deltas[result.arrival_time] = deltas.get(result.arrival_time, 0) + 1
+        deltas[departure] = deltas.get(departure, 0) - 1
+    depth = 0
+    series: List[Tuple[float, int]] = []
+    for time in sorted(deltas):
+        if deltas[time] == 0:
+            continue
+        depth += deltas[time]
+        series.append((time, depth))
+    return series
+
+
+def max_queue_depth(results: Iterable) -> int:
+    """Largest pending-queue depth the stream ever reached."""
+    series = queue_depth_timeseries(results)
+    return max((depth for _, depth in series), default=0)
+
+
+@dataclass(frozen=True)
+class StreamSummary:
+    """One-stop health summary of a streaming (incoming-job) run."""
+
+    total: int
+    completed: int
+    rejected: int
+    expired: int
+    rejection_rate: float
+    queueing: QueueingDelayStats
+    completion: CompletionStats
+    max_queue_depth: int
+
+    @classmethod
+    def from_results(cls, results: Sequence) -> "StreamSummary":
+        counts = outcome_counts(results)
+        jct = [r.job_completion_time for r in results if r.completed]
+        return cls(
+            total=len(results),
+            completed=counts[JobOutcome.COMPLETED.value],
+            rejected=counts[JobOutcome.REJECTED.value],
+            expired=counts[JobOutcome.EXPIRED.value],
+            rejection_rate=rejection_rate(results),
+            queueing=QueueingDelayStats.from_results(results),
+            completion=CompletionStats.from_times(jct),
+            max_queue_depth=max_queue_depth(results),
+        )

@@ -1,12 +1,21 @@
-"""Multi-tenant workload generators (Sec. VI-D).
+"""Multi-tenant workload generators (Sec. VI-D) and synthetic cluster traces.
 
 The paper evaluates four workload mixes; a batch is 20 circuits drawn uniformly
 at random from the mix.  Circuits are generated once per name and cached, since
 the generators are deterministic.
+
+:func:`generate_cluster_trace` goes beyond the paper's 20-job batches: it
+synthesises a large-scale submission trace (thousands of tenants, heavy-tailed
+job sizes, diurnal rate modulation) whose timestamps feed
+:func:`~repro.multitenant.arrivals.trace_arrivals` and whose circuits feed
+:meth:`~repro.multitenant.MultiTenantSimulator.run_stream` -- the workload the
+admission-control policies are evaluated on.
 """
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
@@ -14,6 +23,7 @@ import numpy as np
 
 from ..circuits import QuantumCircuit
 from ..circuits.library import get_circuit
+from .arrivals import trace_arrivals
 
 #: Circuit names of every workload mix used in Figs. 14-17.
 WORKLOADS: Dict[str, List[str]] = {
@@ -75,6 +85,127 @@ def generate_batch(
     rng = np.random.default_rng(seed)
     chosen = rng.choice(len(pool), size=batch_size, replace=True)
     return [_cached_circuit(pool[int(index)]) for index in chosen]
+
+
+#: Default circuit pool for synthetic traces, ordered small -> large so the
+#: heavy-tailed size index maps rank 0 to the lightest job.
+TRACE_CIRCUIT_POOL: List[str] = [
+    "ghz_n4",
+    "ghz_n6",
+    "ghz_n8",
+    "ghz_n12",
+    "ghz_n16",
+    "qft_n16",
+    "qft_n29",
+    "ising_n34",
+]
+
+
+@dataclass(frozen=True)
+class ClusterTrace:
+    """A synthetic cluster submission trace ready for ``run_stream``.
+
+    ``arrival_times`` are already rebased simulator times (via
+    :func:`~repro.multitenant.arrivals.trace_arrivals`), sorted ascending and
+    paired index-by-index with ``circuits`` and ``tenant_ids``.
+    """
+
+    circuits: List[QuantumCircuit]
+    arrival_times: List[float]
+    tenant_ids: List[int]
+
+    def __len__(self) -> int:
+        return len(self.circuits)
+
+    @property
+    def num_tenants(self) -> int:
+        """Number of distinct tenants that actually appear in the trace."""
+        return len(set(self.tenant_ids))
+
+
+def generate_cluster_trace(
+    num_jobs: int,
+    num_tenants: int = 1000,
+    base_rate: float = 0.05,
+    diurnal_amplitude: float = 0.5,
+    diurnal_period: float = 20_000.0,
+    size_tail: float = 1.5,
+    tenant_skew: float = 1.2,
+    seed: Optional[int] = None,
+    names: Optional[Sequence[str]] = None,
+) -> ClusterTrace:
+    """Synthesise a large-scale cluster submission trace.
+
+    Models the three properties real cluster traces exhibit that the paper's
+    uniform 20-job batches do not:
+
+    * *diurnal load* -- arrivals follow a non-homogeneous Poisson process with
+      rate ``base_rate * (1 + diurnal_amplitude * sin(2 pi t / period))``,
+      sampled by thinning, so the trace alternates between rush hours and
+      quiet valleys;
+    * *heavy-tailed job sizes* -- the circuit pool (``names``, ordered small
+      to large; :data:`TRACE_CIRCUIT_POOL` by default) is indexed by a
+      Pareto-distributed rank with tail exponent ``size_tail``: most jobs are
+      small, a heavy tail is large;
+    * *skewed tenant activity* -- each job belongs to one of ``num_tenants``
+      tenants with Zipf-like weights ``rank^-tenant_skew`` (a few tenants
+      dominate, most submit rarely).
+
+    The result is deterministic for a given ``seed``.  Timestamps are passed
+    through :func:`~repro.multitenant.arrivals.trace_arrivals`, so they come
+    back rebased to start at 0.
+    """
+    if num_jobs < 0:
+        raise ValueError("num_jobs cannot be negative")
+    if num_tenants <= 0:
+        raise ValueError("num_tenants must be positive")
+    if not math.isfinite(base_rate) or base_rate <= 0:
+        raise ValueError("base_rate must be positive and finite")
+    if not 0.0 <= diurnal_amplitude < 1.0:
+        raise ValueError("diurnal_amplitude must be in [0, 1)")
+    if diurnal_period <= 0:
+        raise ValueError("diurnal_period must be positive")
+    if size_tail <= 0 or tenant_skew < 0:
+        raise ValueError("size_tail must be positive and tenant_skew >= 0")
+    pool = list(names) if names is not None else list(TRACE_CIRCUIT_POOL)
+    if not pool:
+        raise ValueError("circuit pool is empty")
+    if num_jobs == 0:
+        return ClusterTrace(circuits=[], arrival_times=[], tenant_ids=[])
+
+    rng = np.random.default_rng(seed)
+
+    # Diurnal arrivals: thin a homogeneous process at the peak rate.
+    peak_rate = base_rate * (1.0 + diurnal_amplitude)
+    timestamps: List[float] = []
+    now = 0.0
+    while len(timestamps) < num_jobs:
+        now += float(rng.exponential(1.0 / peak_rate))
+        rate_now = base_rate * (
+            1.0 + diurnal_amplitude * math.sin(2.0 * math.pi * now / diurnal_period)
+        )
+        if rng.random() * peak_rate <= rate_now:
+            timestamps.append(now)
+
+    # Heavy-tailed sizes: Pareto rank into the small->large pool.
+    ranks = np.minimum(
+        np.floor(rng.pareto(size_tail, size=num_jobs)).astype(int),
+        len(pool) - 1,
+    )
+    circuits = [_cached_circuit(pool[int(rank)]) for rank in ranks]
+
+    # Skewed tenant activity: Zipf-like weights over the tenant population.
+    weights = np.arange(1, num_tenants + 1, dtype=float) ** -tenant_skew
+    weights /= weights.sum()
+    tenant_ids = [
+        int(tenant) for tenant in rng.choice(num_tenants, size=num_jobs, p=weights)
+    ]
+
+    return ClusterTrace(
+        circuits=circuits,
+        arrival_times=trace_arrivals(timestamps),
+        tenant_ids=tenant_ids,
+    )
 
 
 def generate_batches(

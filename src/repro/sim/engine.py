@@ -10,6 +10,10 @@ Events can be cancelled (:meth:`EventHandle.cancel`), moved
 (:meth:`EventLoop.reschedule`) or made recurring
 (:meth:`EventLoop.schedule_repeating`), and :meth:`EventLoop.run` accepts a
 ``max_events`` guard that bounds runaway simulations.
+
+The full engine contract and how the multi-tenant simulation flow
+(arrival -> admission -> placement pass -> EPR rounds -> completion) is built
+on it are documented in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

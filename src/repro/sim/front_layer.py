@@ -7,7 +7,8 @@ and the event-driven multi-tenant cluster simulator) execute a
 competes for communication qubits, and a success unlocks its successors.
 This module holds that bookkeeping in one place, with an indexed ready set so
 finishing an operation is O(successors) instead of the O(front * log front)
-of a re-sorted ready list.
+of a re-sorted ready list.  Where front-layer execution sits in the overall
+event-driven flow is documented in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

@@ -150,9 +150,9 @@ class TestArrivalProcesses:
         arrivals = bursty_arrivals(10, burst_size=4, burst_gap=50.0, jitter=1.0, seed=3)
         assert arrivals == sorted(arrivals)
 
-    def test_trace_arrivals_rebases_and_sorts(self):
-        # Raw epoch-style timestamps in arbitrary order.
-        trace = [1_000_050.0, 1_000_000.0, 1_000_020.0]
+    def test_trace_arrivals_rebases(self):
+        # Raw epoch-style timestamps in submission order.
+        trace = [1_000_000.0, 1_000_020.0, 1_000_050.0]
         assert trace_arrivals(trace) == [0.0, 20.0, 50.0]
 
     def test_trace_arrivals_scales_and_offsets(self):
@@ -162,10 +162,36 @@ class TestArrivalProcesses:
             45.0,
         ]
 
+    def test_trace_arrivals_rejects_unsorted(self):
+        # Out-of-order timestamps are a parsing bug upstream, not a workload.
+        with pytest.raises(ValueError, match="not sorted"):
+            trace_arrivals([1_000_050.0, 1_000_000.0, 1_000_020.0])
+
+    def test_trace_arrivals_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            trace_arrivals([])
+
+    def test_trace_arrivals_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="not finite"):
+            trace_arrivals([0.0, math.nan, 2.0])
+        with pytest.raises(ValueError, match="not finite"):
+            trace_arrivals([0.0, math.inf])
+
     def test_trace_arrivals_edge_cases(self):
-        assert trace_arrivals([]) == []
         with pytest.raises(ValueError):
             trace_arrivals([1.0, 2.0], time_scale=0.0)
+        with pytest.raises(ValueError):
+            trace_arrivals([1.0, 2.0], time_scale=math.nan)
+
+    def test_poisson_and_uniform_reject_non_finite_parameters(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(3, rate=math.nan)
+        with pytest.raises(ValueError):
+            poisson_arrivals(3, rate=math.inf)
+        with pytest.raises(ValueError):
+            uniform_arrivals(3, interval=math.nan)
+        with pytest.raises(ValueError):
+            uniform_arrivals(3, interval=math.inf)
 
     def test_arrivals_drive_the_cluster_simulator(self, default_cloud):
         from repro.circuits.library import ghz

@@ -4,10 +4,19 @@ import pytest
 
 from repro.multitenant import (
     CompletionStats,
+    JobOutcome,
+    QueueingDelayStats,
+    StreamSummary,
+    TenantJobResult,
     cdf_at_percentile,
     completion_cdf,
     fraction_completed_by,
     makespan,
+    max_queue_depth,
+    outcome_counts,
+    queue_depth_timeseries,
+    queueing_delays,
+    rejection_rate,
     relative_to_baseline,
 )
 
@@ -64,3 +73,107 @@ class TestRelative:
     def test_zero_baseline(self):
         with pytest.raises(ValueError):
             relative_to_baseline({"a": 0.0}, "a")
+
+
+def result(
+    job_id="job-0",
+    arrival=0.0,
+    placement=0.0,
+    completion=10.0,
+    outcome=JobOutcome.COMPLETED,
+    dropped=None,
+):
+    nan = float("nan")
+    is_completed = outcome == JobOutcome.COMPLETED
+    return TenantJobResult(
+        job_id=job_id,
+        circuit_name="ghz_n4",
+        arrival_time=arrival,
+        placement_time=placement if is_completed else nan,
+        completion_time=completion if is_completed else nan,
+        num_remote_operations=0,
+        num_qpus_used=1 if is_completed else 0,
+        outcome=outcome,
+        dropped_time=dropped,
+    )
+
+
+class TestStreamMetrics:
+    def test_outcome_counts_and_rejection_rate(self):
+        results = [
+            result("job-0"),
+            result("job-1", outcome=JobOutcome.REJECTED, arrival=1.0, dropped=1.0),
+            result("job-2", outcome=JobOutcome.EXPIRED, arrival=2.0, dropped=7.0),
+            result("job-3", arrival=3.0, placement=4.0, completion=9.0),
+        ]
+        counts = outcome_counts(results)
+        assert counts == {"completed": 2, "rejected": 1, "expired": 1}
+        assert rejection_rate(results) == pytest.approx(0.5)
+
+    def test_rejection_rate_empty(self):
+        assert rejection_rate([]) == 0.0
+
+    def test_queueing_delays_exclude_rejected(self):
+        results = [
+            result("job-0", arrival=0.0, placement=5.0),
+            result("job-1", outcome=JobOutcome.REJECTED, arrival=1.0, dropped=1.0),
+            result("job-2", outcome=JobOutcome.EXPIRED, arrival=2.0, dropped=10.0),
+        ]
+        assert queueing_delays(results) == [5.0, 8.0]
+        assert queueing_delays(results, include_expired=False) == [5.0]
+
+    def test_queueing_delay_stats_percentiles(self):
+        results = [
+            result(f"job-{i}", arrival=0.0, placement=float(i))
+            for i in range(101)
+        ]
+        stats = QueueingDelayStats.from_results(results)
+        assert stats.count == 101
+        assert stats.p50 == pytest.approx(50.0)
+        assert stats.p95 == pytest.approx(95.0)
+        assert stats.p99 == pytest.approx(99.0)
+
+    def test_queueing_delay_stats_empty(self):
+        stats = QueueingDelayStats.from_results([])
+        assert stats.count == 0
+        assert stats.p99 == 0.0
+
+    def test_queue_depth_timeseries_steps(self):
+        results = [
+            # In queue [0, 4]; placed at 4.
+            result("job-0", arrival=0.0, placement=4.0, completion=9.0),
+            # In queue [1, 6]; expired at 6.
+            result("job-1", outcome=JobOutcome.EXPIRED, arrival=1.0, dropped=6.0),
+            # Rejected: never queued.
+            result("job-2", outcome=JobOutcome.REJECTED, arrival=2.0, dropped=2.0),
+        ]
+        assert queue_depth_timeseries(results) == [
+            (0.0, 1),
+            (1.0, 2),
+            (4.0, 1),
+            (6.0, 0),
+        ]
+        assert max_queue_depth(results) == 2
+
+    def test_queue_depth_nets_same_instant_events(self):
+        # Placed at its own arrival instant: no depth change registers.
+        results = [result("job-0", arrival=5.0, placement=5.0, completion=9.0)]
+        assert queue_depth_timeseries(results) == []
+        assert max_queue_depth(results) == 0
+
+    def test_stream_summary_aggregates(self):
+        results = [
+            result("job-0", arrival=0.0, placement=3.0, completion=10.0),
+            result("job-1", outcome=JobOutcome.REJECTED, arrival=1.0, dropped=1.0),
+            result("job-2", outcome=JobOutcome.EXPIRED, arrival=2.0, dropped=8.0),
+        ]
+        summary = StreamSummary.from_results(results)
+        assert summary.total == 3
+        assert summary.completed == 1
+        assert summary.rejected == 1
+        assert summary.expired == 1
+        assert summary.rejection_rate == pytest.approx(2 / 3)
+        assert summary.queueing.count == 2
+        assert summary.completion.count == 1
+        assert summary.completion.mean == pytest.approx(10.0)
+        assert summary.max_queue_depth == 2

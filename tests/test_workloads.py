@@ -3,9 +3,11 @@
 import pytest
 
 from repro.multitenant import (
+    TRACE_CIRCUIT_POOL,
     WORKLOADS,
     generate_batch,
     generate_batches,
+    generate_cluster_trace,
     workload_circuits,
     workload_names,
 )
@@ -79,3 +81,81 @@ class TestBatchGeneration:
         by_name_b = {c.name: c for c in b}
         for name in by_name_a:
             assert by_name_a[name] is by_name_b[name]
+
+
+class TestClusterTrace:
+    def test_trace_is_deterministic(self):
+        a = generate_cluster_trace(50, num_tenants=10, seed=4)
+        b = generate_cluster_trace(50, num_tenants=10, seed=4)
+        assert a.arrival_times == b.arrival_times
+        assert a.tenant_ids == b.tenant_ids
+        assert [c.name for c in a.circuits] == [c.name for c in b.circuits]
+
+    def test_trace_shape_and_ordering(self):
+        trace = generate_cluster_trace(200, num_tenants=50, seed=1)
+        assert len(trace) == 200
+        assert len(trace.arrival_times) == len(trace.circuits) == 200
+        assert len(trace.tenant_ids) == 200
+        assert trace.arrival_times[0] == 0.0  # rebased via trace_arrivals
+        assert trace.arrival_times == sorted(trace.arrival_times)
+        assert all(0 <= t < 50 for t in trace.tenant_ids)
+        assert 1 <= trace.num_tenants <= 50
+
+    def test_job_sizes_are_heavy_tailed(self):
+        trace = generate_cluster_trace(2000, num_tenants=100, seed=2)
+        names = [c.name for c in trace.circuits]
+        smallest = TRACE_CIRCUIT_POOL[0]
+        # The smallest circuit dominates; every name is from the pool.
+        assert names.count(smallest) > len(names) / 3
+        assert set(names) <= set(TRACE_CIRCUIT_POOL)
+        assert len(set(names)) > 1
+
+    def test_diurnal_modulation_changes_local_density(self):
+        # With strong modulation, arrivals cluster around rate peaks: the
+        # count in the busiest period-sized window far exceeds the quietest.
+        trace = generate_cluster_trace(
+            3000,
+            num_tenants=10,
+            base_rate=1.0,
+            diurnal_amplitude=0.9,
+            diurnal_period=1000.0,
+            seed=7,
+        )
+        times = trace.arrival_times
+        window = 250.0
+        counts = []
+        edge = 0.0
+        while edge < times[-1]:
+            counts.append(sum(1 for t in times if edge <= t < edge + window))
+            edge += window
+        assert max(counts) > 2 * (min(counts) + 1)
+
+    def test_custom_pool(self):
+        trace = generate_cluster_trace(30, num_tenants=5, seed=1, names=["ghz_n4"])
+        assert {c.name for c in trace.circuits} == {"ghz_n4"}
+
+    def test_empty_trace(self):
+        trace = generate_cluster_trace(0)
+        assert len(trace) == 0
+        assert trace.arrival_times == []
+        assert trace.num_tenants == 0
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            generate_cluster_trace(-1)
+        with pytest.raises(ValueError):
+            generate_cluster_trace(10, num_tenants=0)
+        with pytest.raises(ValueError):
+            generate_cluster_trace(10, base_rate=0.0)
+        with pytest.raises(ValueError):
+            generate_cluster_trace(10, diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            generate_cluster_trace(10, diurnal_amplitude=-0.1)
+        with pytest.raises(ValueError):
+            generate_cluster_trace(10, diurnal_period=0.0)
+        with pytest.raises(ValueError):
+            generate_cluster_trace(10, size_tail=0.0)
+        with pytest.raises(ValueError):
+            generate_cluster_trace(10, tenant_skew=-1.0)
+        with pytest.raises(ValueError):
+            generate_cluster_trace(10, names=[])
