@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Run the placement hot-path benchmark and emit ``BENCH_4.json``.
+
+Measures the three headline numbers of the incremental-placement fast path
+(PR 4) by driving the same workload builders as
+``benchmarks/test_placement_hotpath.py``:
+
+* cold vs. warm single-attempt cost (attempts/sec) and the warm-cache hit
+  rate of the :class:`~repro.placement.PlacementContext`;
+* busy-cloud replay wall time with the fast path on and off, and the
+  resulting speedup.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py            # CI smoke scale
+    PYTHONPATH=src python scripts/bench_report.py --full     # 5005-job replay
+    PYTHONPATH=src python scripts/bench_report.py --cycles 40 --out BENCH_4.json
+
+The default scale is the CI perf-smoke trace (a handful of anchor/burst
+cycles); ``--full`` restores the acceptance-scale 5005-job replay.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.circuits.library import get_circuit  # noqa: E402
+from repro.placement import CloudQCPlacement, PlacementContext  # noqa: E402
+
+
+def _load_hotpath_module():
+    """Import the benchmark module so script and pytest share one workload."""
+    path = REPO_ROOT / "benchmarks" / "test_placement_hotpath.py"
+    spec = importlib.util.spec_from_file_location("placement_hotpath", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def measure_attempt_cost(hotpath, rounds: int) -> dict:
+    """Cold vs. warm cost of one CloudQC attempt on an unchanged cloud."""
+    cloud = hotpath.make_cloud()
+    circuit = get_circuit("ghz_n24")
+    kwargs = hotpath.PLACEMENT_KWARGS
+    algorithm = CloudQCPlacement(**kwargs)
+    context = PlacementContext()
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        CloudQCPlacement(**kwargs).place(circuit, cloud, seed=11)
+    cold_time = time.perf_counter() - start
+
+    reference = algorithm.place(circuit, cloud, seed=11, context=context)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        warm = algorithm.place(circuit, cloud, seed=11, context=context)
+        assert warm.mapping == reference.mapping
+    warm_time = time.perf_counter() - start
+
+    return {
+        "rounds": rounds,
+        "cold_attempt_ms": 1e3 * cold_time / rounds,
+        "warm_attempt_ms": 1e3 * warm_time / rounds,
+        "cold_attempts_per_sec": rounds / cold_time,
+        "warm_attempts_per_sec": rounds / warm_time,
+        "warm_speedup": cold_time / warm_time,
+        "warm_hit_rate": context.hit_rate,
+        "context_stats": context.stats(),
+    }
+
+
+def measure_replay(hotpath, cycles: int, fillers: int) -> dict:
+    """Busy-cloud replay wall time with the fast path on and off."""
+    incremental_results, incremental_time = hotpath.run_replay(True, cycles, fillers)
+    baseline_results, baseline_time = hotpath.run_replay(False, cycles, fillers)
+    identical = [hotpath.result_key(r) for r in incremental_results] == [
+        hotpath.result_key(r) for r in baseline_results
+    ]
+    num_jobs = cycles * (1 + fillers)
+    return {
+        "num_jobs": num_jobs,
+        "cycles": cycles,
+        "fillers_per_cycle": fillers,
+        "incremental_seconds": incremental_time,
+        "from_scratch_seconds": baseline_time,
+        "replay_speedup": baseline_time / incremental_time,
+        "incremental_jobs_per_sec": num_jobs / incremental_time,
+        "bit_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cycles", type=int, default=None, help="anchor/burst cycles")
+    parser.add_argument("--fillers", type=int, default=None, help="fillers per cycle")
+    parser.add_argument("--rounds", type=int, default=25, help="attempt-cost rounds")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="acceptance scale (the 5005-job replay) instead of the CI smoke scale",
+    )
+    parser.add_argument("--out", default="BENCH_4.json", help="output JSON path")
+    args = parser.parse_args(argv)
+
+    hotpath = _load_hotpath_module()
+    cycles = args.cycles or (hotpath.CYCLES if args.full else 12)
+    fillers = args.fillers or hotpath.FILLERS_PER_CYCLE
+
+    report = {
+        "benchmark": "placement-hotpath",
+        "python": platform.python_version(),
+        "attempt_cost": measure_attempt_cost(hotpath, args.rounds),
+        "replay": measure_replay(hotpath, cycles, fillers),
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    attempt = report["attempt_cost"]
+    replay = report["replay"]
+    print(
+        f"attempt cost: cold={attempt['cold_attempt_ms']:.2f}ms "
+        f"warm={attempt['warm_attempt_ms']:.3f}ms "
+        f"({attempt['warm_attempts_per_sec']:.0f} warm attempts/sec, "
+        f"hit rate {attempt['warm_hit_rate']:.2f})"
+    )
+    print(
+        f"replay ({replay['num_jobs']} jobs): "
+        f"incremental={replay['incremental_seconds']:.1f}s "
+        f"from-scratch={replay['from_scratch_seconds']:.1f}s "
+        f"speedup={replay['replay_speedup']:.1f}x "
+        f"bit-identical={replay['bit_identical']}"
+    )
+    print(f"wrote {out}")
+    if not replay["bit_identical"]:
+        print("ERROR: fast-path replay diverged from the from-scratch replay")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,11 @@ class QuantumCloud:
             raise ValueError("EPR success probability must lie in (0, 1]")
         self.topology = topology
         self.epr_success_probability = float(epr_success_probability)
+        # Version-keyed caches for the placement fast path: both are rebuilt
+        # lazily whenever ``resource_version`` moves (see docs/architecture.md,
+        # "Placement fast path").
+        self._resource_graph_cache: Optional[Tuple[int, nx.Graph]] = None
+        self._available_cache: Optional[Tuple[int, Dict[int, int]]] = None
         if qpus is not None:
             missing = set(topology.qpu_ids) - set(qpus)
             if missing:
@@ -97,8 +102,28 @@ class QuantumCloud:
     def total_communication_capacity(self) -> int:
         return sum(q.communication_capacity for q in self.qpus.values())
 
+    @property
+    def resource_version(self) -> int:
+        """Monotonic version of the computing-qubit state.
+
+        Bumped by every effective ``admit``/``release`` (it sums the per-QPU
+        mutation counters, so direct QPU mutation is covered too).  Placement
+        caches key cloud-side results by this number: equal versions imply an
+        identical availability map, so a cached ``resource_graph`` / community
+        / QPU-set result may be reused verbatim.
+        """
+        return sum(q.computing_version for q in self.qpus.values())
+
     def available_computing(self) -> Dict[int, int]:
-        return {qpu_id: q.computing_available for qpu_id, q in self.qpus.items()}
+        version = self.resource_version
+        if self._available_cache is None or self._available_cache[0] != version:
+            self._available_cache = (
+                version,
+                {qpu_id: q.computing_available for qpu_id, q in self.qpus.items()},
+            )
+        # Callers mutate the result while planning (e.g. RandomPlacement), so
+        # hand out a copy and keep the canonical per-version dict private.
+        return dict(self._available_cache[1])
 
     def min_available_computing(self) -> int:
         """Smallest per-QPU availability: Algorithm 1's single-QPU fast path test."""
@@ -183,7 +208,17 @@ class QuantumCloud:
         Node weight = available computing qubits; edge weight blends link
         presence with the endpoint availability so communities are both well
         connected and resource rich (Sec. V-B, "Finding feasible QPU sets").
+
+        The graph is cached per :attr:`resource_version` and the *same object*
+        is returned until the cloud mutates, so treat it as read-only; copy it
+        before editing node/edge attributes.
         """
+        version = self.resource_version
+        if (
+            self._resource_graph_cache is not None
+            and self._resource_graph_cache[0] == version
+        ):
+            return self._resource_graph_cache[1]
         graph = nx.Graph()
         for qpu_id, qpu in self.qpus.items():
             graph.add_node(
@@ -196,6 +231,7 @@ class QuantumCloud:
                 self.qpus[a].computing_available + self.qpus[b].computing_available
             )
             graph.add_edge(a, b, weight=1.0 + float(availability))
+        self._resource_graph_cache = (version, graph)
         return graph
 
     def snapshot(self) -> Dict[int, Dict[str, int]]:

@@ -34,6 +34,7 @@ class QPU:
     communication_capacity: int = 5
     _computing_used: Dict[str, int] = field(default_factory=dict, repr=False)
     _communication_used: int = field(default=0, repr=False)
+    _computing_version: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.computing_capacity <= 0:
@@ -57,6 +58,17 @@ class QPU:
         """Identifiers of jobs currently holding computing qubits here."""
         return set(self._computing_used)
 
+    @property
+    def computing_version(self) -> int:
+        """Monotonic counter of computing-qubit mutations.
+
+        Every effective ``allocate_computing``/``release_computing`` bumps it;
+        :attr:`QuantumCloud.resource_version` sums these counters so
+        version-keyed caches stay correct even when a QPU is mutated directly
+        rather than through ``cloud.admit``/``cloud.release``.
+        """
+        return self._computing_version
+
     def allocate_computing(self, job_id: str, amount: int) -> None:
         """Reserve ``amount`` computing qubits for ``job_id``."""
         if amount <= 0:
@@ -67,10 +79,14 @@ class QPU:
                 f"only {self.computing_available} available"
             )
         self._computing_used[job_id] = self._computing_used.get(job_id, 0) + amount
+        self._computing_version += 1
 
     def release_computing(self, job_id: str) -> int:
         """Release every computing qubit held by ``job_id``; returns the count."""
-        return self._computing_used.pop(job_id, 0)
+        freed = self._computing_used.pop(job_id, 0)
+        if freed:
+            self._computing_version += 1
+        return freed
 
     def computing_held_by(self, job_id: str) -> int:
         return self._computing_used.get(job_id, 0)

@@ -116,6 +116,7 @@ def select_qpu_community(
     min_qpus: int = 1,
     method: str = "louvain",
     seed: Optional[int] = None,
+    communities: Optional[List[Set[Hashable]]] = None,
 ) -> List[Hashable]:
     """Pick the QPU set that will host a partitioned circuit.
 
@@ -123,6 +124,11 @@ def select_qpu_community(
     that can hold ``required_qubits`` (expanding over the topology when none is
     large enough) is returned, constrained to contain at least ``min_qpus``
     QPUs with free capacity.
+
+    ``communities`` short-circuits the detection step with a precomputed
+    result for the same ``(resource_graph, method, seed)`` triple -- the hook
+    :class:`repro.placement.PlacementContext` uses to run community detection
+    once per cloud resource version instead of once per placement candidate.
     """
     if required_qubits <= 0:
         raise ValueError("required_qubits must be positive")
@@ -132,7 +138,8 @@ def select_qpu_community(
             f"cloud has only {total_available} free qubits, need {required_qubits}"
         )
 
-    communities = detect_communities(resource_graph, method=method, seed=seed)
+    if communities is None:
+        communities = detect_communities(resource_graph, method=method, seed=seed)
     scored = sorted(
         communities,
         key=lambda c: _community_score(resource_graph, c, required_qubits),

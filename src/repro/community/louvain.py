@@ -2,9 +2,11 @@
 
 A self-contained implementation of the two-phase Louvain heuristic: local
 moving of nodes between communities to greedily maximise modularity, followed
-by community aggregation, repeated until modularity stops improving.  The QPU
-graphs CloudQC works with have tens of nodes, so clarity is preferred over
-micro-optimisation.
+by community aggregation, repeated until modularity stops improving.  The
+local-moving phase is the hot loop of CloudQC's placement-attempt pipeline
+(it runs for every community-detection cache miss), so it operates on flat
+CSR-style arrays; it is written to stay bit-identical to the reference
+dict-based formulation, RNG call sequence included.
 """
 
 from __future__ import annotations
@@ -65,56 +67,97 @@ def _normalise(graph: nx.Graph) -> nx.Graph:
 def _local_moving(
     graph: nx.Graph, rng: np.random.Generator, resolution: float
 ) -> Dict[Hashable, int]:
-    """Phase 1: move nodes between communities while modularity improves."""
+    """Phase 1: move nodes between communities while modularity improves.
+
+    The hot loop runs on flat CSR-style arrays (node -> index, concatenated
+    neighbor/weight arrays, degree and community-degree vectors) instead of
+    per-node networkx dict iteration.  It is engineered to be *bit-identical*
+    to the dict-based formulation it replaced: neighbor order matches the
+    adjacency insertion order, per-community weights accumulate in the same
+    order, the modularity-gain expressions keep the same operation order, and
+    the per-sweep shuffle consumes the RNG exactly as before (a length-n list
+    shuffle), so seeded community structure is unchanged.
+    """
     m = total_edge_weight(graph)
     if m == 0:
         return {node: index for index, node in enumerate(graph.nodes())}
+
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    index_of = {node: index for index, node in enumerate(nodes)}
+
+    # CSR adjacency in exactly the order graph[node].items() would yield it.
+    starts = np.empty(n + 1, dtype=np.int64)
+    neighbor_list: List[int] = []
+    weight_list: List[float] = []
+    starts[0] = 0
+    for u, node in enumerate(nodes):
+        for neighbor, data in graph[node].items():
+            neighbor_list.append(index_of[neighbor])
+            weight_list.append(float(data.get("weight", 1.0)))
+        starts[u + 1] = len(neighbor_list)
+    neighbors = np.asarray(neighbor_list, dtype=np.int64)
+    weights = np.asarray(weight_list, dtype=np.float64)
+
     degrees = {node: float(value) for node, value in graph.degree(weight="weight")}
-    community: Dict[Hashable, int] = {
-        node: index for index, node in enumerate(graph.nodes())
-    }
-    community_degree: Dict[int, float] = {
-        community[node]: degrees[node] for node in graph.nodes()
-    }
+    degree = np.array([degrees[node] for node in nodes], dtype=np.float64)
+    community = np.arange(n, dtype=np.int64)
+    community_degree = degree.copy()
+
+    # Scratch arrays for the per-node community-weight accumulation: ``stamp``
+    # marks which entries of ``comm_weight`` belong to the current node, so no
+    # O(n) clearing is needed between nodes.
+    comm_weight = np.zeros(n, dtype=np.float64)
+    stamp = np.full(n, -1, dtype=np.int64)
+    two_m = 2.0 * m
 
     improved = True
     iterations = 0
+    token = 0
     while improved and iterations < 50:
         improved = False
         iterations += 1
-        nodes = list(graph.nodes())
-        rng.shuffle(nodes)
-        for node in nodes:
-            current = community[node]
-            # Weight from node to each neighbouring community.
-            neighbor_weight: Dict[int, float] = {}
-            for neighbor, data in graph[node].items():
-                if neighbor == node:
+        order = list(range(n))
+        rng.shuffle(order)
+        for u in order:
+            token += 1
+            current = int(community[u])
+            deg_u = degree[u]
+            # Weight from node to each neighbouring community, preserving the
+            # first-seen community order of the dict-based version.
+            seen: List[int] = []
+            for pos in range(starts[u], starts[u + 1]):
+                v = neighbors[pos]
+                if v == u:
                     continue
-                neighbor_weight.setdefault(community[neighbor], 0.0)
-                neighbor_weight[community[neighbor]] += float(data.get("weight", 1.0))
+                c = int(community[v])
+                if stamp[c] != token:
+                    stamp[c] = token
+                    comm_weight[c] = 0.0
+                    seen.append(c)
+                comm_weight[c] += weights[pos]
             # Remove node from its community.
-            community_degree[current] -= degrees[node]
+            community_degree[current] -= deg_u
+            weight_to_current = comm_weight[current] if stamp[current] == token else 0.0
             best_community = current
             best_gain = 0.0
-            for candidate, weight_to in neighbor_weight.items():
-                gain = weight_to - resolution * community_degree[candidate] * degrees[
-                    node
-                ] / (2.0 * m)
-                baseline = neighbor_weight.get(current, 0.0) - resolution * (
-                    community_degree[current] * degrees[node] / (2.0 * m)
+            for candidate in seen:
+                gain = comm_weight[candidate] - resolution * community_degree[
+                    candidate
+                ] * deg_u / two_m
+                baseline = weight_to_current - resolution * (
+                    community_degree[current] * deg_u / two_m
                 )
                 if gain - baseline > best_gain + 1e-12:
                     best_gain = gain - baseline
                     best_community = candidate
-            community[node] = best_community
-            community_degree.setdefault(best_community, 0.0)
-            community_degree[best_community] += degrees[node]
+            community[u] = best_community
+            community_degree[best_community] += deg_u
             if best_community != current:
                 improved = True
     # Relabel community ids to be dense.
-    relabel = {c: i for i, c in enumerate(sorted(set(community.values())))}
-    return {node: relabel[c] for node, c in community.items()}
+    relabel = {c: i for i, c in enumerate(sorted(set(community.tolist())))}
+    return {node: relabel[int(community[u])] for u, node in enumerate(nodes)}
 
 
 def _aggregate(graph: nx.Graph, community: Dict[Hashable, int]) -> nx.Graph:

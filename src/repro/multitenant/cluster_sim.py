@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -57,7 +57,12 @@ from ..circuits import QuantumCircuit
 from ..cloud import Controller, Job, JobStatus, PlacementError, QuantumCloud
 from ..community import CommunityError
 from ..network import EPRModel
-from ..placement import MappingError, Placement, PlacementAlgorithm
+from ..placement import (
+    MappingError,
+    Placement,
+    PlacementAlgorithm,
+    PlacementContext,
+)
 from ..scheduling import AllocationRequest, NetworkScheduler, RemoteDAG
 from ..sim import (
     DEFAULT_LATENCY,
@@ -192,6 +197,14 @@ class _EventDrivenBatch:
         # incrementally so a saturated decision point can skip the whole
         # placement pass in O(1) instead of scanning thousands of jobs.
         self.min_pending_qubits = math.inf
+        # Placement fast path (see docs/architecture.md): one context memoizes
+        # circuit- and resource-version-keyed placement inputs for the whole
+        # run, and failure signatures record the (resource_version,
+        # required_qubits) under which a job's last attempt failed so
+        # provably-identical re-attempts are skipped.
+        self.incremental = simulator.incremental_placement
+        self.placement_context = PlacementContext() if self.incremental else None
+        self.failure_signatures: Dict[str, Tuple[int, int]] = {}
         self.active: Dict[str, _ActiveJob] = {}
         self.expiry_handles: Dict[str, EventHandle] = {}
         self.results: List[TenantJobResult] = []
@@ -246,6 +259,7 @@ class _EventDrivenBatch:
             ]
             if job.num_qubits <= self.min_pending_qubits:
                 self._recompute_min_pending()
+            self.failure_signatures.pop(job.job_id, None)
             job.mark_failed()
             self.results.append(
                 self._dropped_result(job, JobOutcome.EXPIRED, loop.now)
@@ -329,17 +343,43 @@ class _EventDrivenBatch:
             self.resources_changed = False
             return
         placed: Set[str] = set()
+        # The resource version only moves inside this loop when a placement
+        # is admitted, so read it once per pass and refresh after successes
+        # instead of re-summing the per-QPU counters for every pending job.
+        version = self.cloud.resource_version
         for job in self.simulator.batch_manager.order(self.pending, now=now):
             # A successful placement reserves exactly one computing qubit per
             # circuit qubit, so the running total stays exact without
             # re-summing every QPU for every queued job.
             if job.num_qubits > available:
                 continue
-            placement = self._try_place(job)
-            if placement is None:
+            # Every attempted job draws its placement seed here, whether the
+            # attempt runs or is skipped -- the RNG stream must be identical
+            # in both cases for seeded runs to stay bit-for-bit reproducible.
+            attempt_seed = int(self.rng.integers(1 << 31))
+            signature = (version, job.num_qubits)
+            if (
+                self.incremental
+                and self.failure_signatures.get(job.job_id) == signature
+            ):
+                # The job's last attempt failed at this exact resource
+                # version, i.e. at an identical availability map.  Skipping
+                # the re-attempt assumes such a failure is seed-independent;
+                # that holds for the capacity-driven failures that dominate a
+                # busy cloud, but CloudQC feasibility can in principle flip
+                # with the partition seed, so the equivalence is pinned
+                # empirically (A/B regression tests compare both modes
+                # result-for-result) rather than guaranteed.  Set
+                # incremental_placement=False for strict recomputation.
                 continue
+            placement = self._try_place(job, attempt_seed)
+            if placement is None:
+                self.failure_signatures[job.job_id] = signature
+                continue
+            self.failure_signatures.pop(job.job_id, None)
             self.controller.place(job, placement.mapping)
             self.controller.start(job, now)
+            version = self.cloud.resource_version
             self.active[job.job_id] = _ActiveJob(
                 job=job,
                 placement=placement,
@@ -387,11 +427,14 @@ class _EventDrivenBatch:
         self.round_end_time = round_end
         loop.schedule_at(round_end, self._on_round_end, label="epr-round")
 
-    def _try_place(self, job: Job) -> Optional[Placement]:
+    def _try_place(self, job: Job, seed: int) -> Optional[Placement]:
         """One placement attempt; the caller has already checked capacity."""
         try:
             return self.simulator.placement_algorithm.place(
-                job.circuit, self.cloud, seed=int(self.rng.integers(1 << 31))
+                job.circuit,
+                self.cloud,
+                seed=seed,
+                context=self.placement_context,
             )
         except (MappingError, CommunityError, PlacementError):
             return None
@@ -470,12 +513,21 @@ class MultiTenantSimulator:
         epr_success_probability: Optional[float] = None,
         max_events: int = 5_000_000,
         admission_policy: Optional[AdmissionPolicy] = None,
+        incremental_placement: bool = True,
     ) -> None:
         self.template_cloud = cloud
         self.placement_algorithm = placement_algorithm
         self.network_scheduler = network_scheduler
         self.batch_manager = batch_manager or priority_batch_manager()
         self.admission_policy = admission_policy or AdmitAll()
+        # The placement fast path: memoize placement inputs across attempts
+        # and skip re-attempts whose failure signature is unchanged.  Off, the
+        # simulator recomputes every attempt from scratch (the pre-fast-path
+        # behavior).  The context caches are exact; the failure-signature skip
+        # additionally assumes a failed attempt at an unchanged availability
+        # map fails for any seed, which A/B regression tests pin on the
+        # shipped workloads (see docs/architecture.md, "Placement fast path").
+        self.incremental_placement = incremental_placement
         self.latency = latency
         self.epr_success_probability = (
             cloud.epr_success_probability

@@ -3,6 +3,7 @@
 from typing import Dict, Type
 
 from .base import Placement, PlacementAlgorithm, validate_placement
+from .context import PlacementContext
 from .scoring import (
     communication_cost,
     estimate_execution_time,
@@ -51,6 +52,7 @@ __all__ = [
     "PLACEMENT_ALGORITHMS",
     "Placement",
     "PlacementAlgorithm",
+    "PlacementContext",
     "RandomPlacement",
     "SimulatedAnnealingPlacement",
     "bfs_qpu_set",

@@ -13,10 +13,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
 from ..circuits import CircuitDAG, InteractionGraph, QuantumCircuit
 from ..cloud import QuantumCloud
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import PlacementContext
 
 
 @dataclass
@@ -130,16 +133,24 @@ class PlacementAlgorithm(abc.ABC):
         circuit: QuantumCircuit,
         cloud: QuantumCloud,
         seed: Optional[int] = None,
+        context: Optional["PlacementContext"] = None,
     ) -> Placement:
-        """Compute a capacity-respecting placement of ``circuit`` on ``cloud``."""
+        """Compute a capacity-respecting placement of ``circuit`` on ``cloud``.
+
+        ``context`` optionally memoizes work shared across placement attempts
+        (see :class:`~repro.placement.PlacementContext`); algorithms that have
+        nothing to memoize ignore it.  Results must be identical with and
+        without a context under any fixed seed.
+        """
 
     def __call__(
         self,
         circuit: QuantumCircuit,
         cloud: QuantumCloud,
         seed: Optional[int] = None,
+        context: Optional["PlacementContext"] = None,
     ) -> Placement:
-        return self.place(circuit, cloud, seed=seed)
+        return self.place(circuit, cloud, seed=seed, context=context)
 
 
 def validate_placement(placement: Placement, cloud: QuantumCloud) -> None:

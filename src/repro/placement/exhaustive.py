@@ -10,13 +10,16 @@ Assignment Problem.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..circuits import InteractionGraph, QuantumCircuit
 from ..cloud import QuantumCloud
 from .base import Placement, PlacementAlgorithm
 from .mapping import MappingError
 from .scoring import score_mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import PlacementContext
 
 
 class ExhaustivePlacement(PlacementAlgorithm):
@@ -36,13 +39,18 @@ class ExhaustivePlacement(PlacementAlgorithm):
         circuit: QuantumCircuit,
         cloud: QuantumCloud,
         seed: Optional[int] = None,
+        context: Optional["PlacementContext"] = None,
     ) -> Placement:
         if circuit.num_qubits > self.max_qubits:
             raise MappingError(
                 f"exhaustive placement is limited to {self.max_qubits} qubits; "
                 f"{circuit.name} has {circuit.num_qubits}"
             )
-        interaction = InteractionGraph.from_circuit(circuit)
+        interaction = (
+            context.interaction(circuit)
+            if context is not None
+            else InteractionGraph.from_circuit(circuit)
+        )
         adjacency = interaction.adjacency()
         qpu_ids = cloud.qpu_ids
         capacity = cloud.available_computing()

@@ -8,7 +8,7 @@ is the inverse of the communication cost (Eq. 1).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
@@ -17,6 +17,9 @@ from ..cloud import QuantumCloud
 from .base import Placement, PlacementAlgorithm
 from .random_placement import random_mapping
 from .scoring import score_mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import PlacementContext
 
 
 class GeneticPlacement(PlacementAlgorithm):
@@ -53,9 +56,14 @@ class GeneticPlacement(PlacementAlgorithm):
         circuit: QuantumCircuit,
         cloud: QuantumCloud,
         seed: Optional[int] = None,
+        context: Optional["PlacementContext"] = None,
     ) -> Placement:
         rng = np.random.default_rng(seed)
-        interaction = InteractionGraph.from_circuit(circuit)
+        interaction = (
+            context.interaction(circuit)
+            if context is not None
+            else InteractionGraph.from_circuit(circuit)
+        )
         adjacency = interaction.adjacency()
         capacity = cloud.available_computing()
 

@@ -11,12 +11,24 @@ therefore land on nearby QPUs.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 import networkx as nx
 
 from ..cloud import QuantumCloud
 from ..community import graph_center
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import PlacementContext
 
 
 class MappingError(RuntimeError):
@@ -51,6 +63,7 @@ def map_partitions_to_qpus(
     cloud: QuantumCloud,
     candidate_qpus: Sequence[int],
     allow_sharing: bool = True,
+    context: Optional["PlacementContext"] = None,
 ) -> Dict[Hashable, int]:
     """Map every part to a QPU drawn (preferentially) from ``candidate_qpus``.
 
@@ -70,6 +83,10 @@ def map_partitions_to_qpus(
         Whether two parts may share one QPU when capacity allows.  Algorithm 2
         prefers distinct QPUs (sharing would merge the parts), so shared QPUs
         are only used as a fallback.
+    context:
+        Optional :class:`~repro.placement.PlacementContext`; memoizes the
+        candidate set's topology center (a pure function of the static
+        topology, and a hot call on the attempt pipeline).
     """
     parts = list(part_sizes)
     if not parts:
@@ -82,7 +99,10 @@ def map_partitions_to_qpus(
         qpu_id: cloud.qpu(qpu_id).computing_available for qpu_id in cloud.qpu_ids
     }
 
-    community_center = graph_center(cloud.topology.graph, candidates)
+    if context is not None:
+        community_center = context.topology_center(cloud, candidates)
+    else:
+        community_center = graph_center(cloud.topology.graph, candidates)
     if quotient.number_of_nodes() > 0 and quotient.number_of_edges() > 0:
         center_part = graph_center(quotient)
     else:

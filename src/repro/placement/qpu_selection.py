@@ -5,15 +5,23 @@ CloudQC proper selects QPUs with modularity-based community detection
 breadth-first expansion over the cloud topology from the most resource-rich
 QPU.  Both return a list of QPU ids whose combined free computing qubits cover
 the circuit.
+
+Both selectors accept an optional :class:`~repro.placement.PlacementContext`
+that memoizes results per cloud ``resource_version`` -- repeated selections on
+an unchanged cloud (the common case across a placement attempt's candidate
+grid, and across retries of a queued job) are served from cache.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..cloud import QuantumCloud
 from ..community import CommunityError, select_qpu_community
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .context import PlacementContext
 
 
 def community_qpu_set(
@@ -22,8 +30,13 @@ def community_qpu_set(
     min_qpus: int = 1,
     method: str = "louvain",
     seed: Optional[int] = None,
+    context: Optional["PlacementContext"] = None,
 ) -> List[int]:
     """Community-detection-based QPU selection (the CloudQC default)."""
+    if context is not None:
+        return context.community_qpu_set(
+            cloud, required_qubits, min_qpus, method, seed
+        )
     return [
         int(qpu)
         for qpu in select_qpu_community(
@@ -41,13 +54,18 @@ def bfs_qpu_set(
     required_qubits: int,
     min_qpus: int = 1,
     start: Optional[int] = None,
+    context: Optional["PlacementContext"] = None,
 ) -> List[int]:
     """Breadth-first QPU selection (the CloudQC-BFS baseline).
 
     Starting from ``start`` (default: the QPU with the most free computing
     qubits), expand over quantum links until the accumulated free capacity
     covers ``required_qubits`` and at least ``min_qpus`` QPUs are selected.
+    Raises :class:`CommunityError` when the cloud cannot satisfy either the
+    capacity requirement or the ``min_qpus`` floor.
     """
+    if context is not None and start is None:
+        return context.bfs_qpu_set(cloud, required_qubits, min_qpus)
     if required_qubits <= 0:
         raise ValueError("required_qubits must be positive")
     available = cloud.available_computing()
@@ -72,8 +90,12 @@ def bfs_qpu_set(
             if neighbor not in visited:
                 visited.add(neighbor)
                 queue.append(neighbor)
-    if capacity < required_qubits:
-        # The BFS tree ran out (disconnected availability); fall back to any QPU.
+    if capacity < required_qubits or len(selected) < min_qpus:
+        # The BFS tree ran out (disconnected availability, or fewer reachable
+        # QPUs with free capacity than ``min_qpus``); fall back to any QPU.
+        # The fallback must keep going until *both* the capacity target and
+        # the min_qpus floor are met -- stopping at capacity alone used to
+        # return fewer than ``min_qpus`` QPUs.
         for qpu in sorted(available, key=available.get, reverse=True):
             if qpu not in selected and available[qpu] > 0:
                 selected.append(qpu)
@@ -82,4 +104,8 @@ def bfs_qpu_set(
                 break
     if capacity < required_qubits:
         raise CommunityError("BFS selection could not cover the required qubits")
+    if len(selected) < min_qpus:
+        raise CommunityError(
+            f"only {len(selected)} QPUs have free capacity, need {min_qpus}"
+        )
     return sorted(selected)

@@ -7,7 +7,7 @@ the selected QPUs, respecting per-QPU capacity.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
@@ -16,6 +16,9 @@ from ..cloud import QuantumCloud
 from .base import Placement, PlacementAlgorithm
 from .mapping import MappingError
 from .scoring import score_mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import PlacementContext
 
 
 def random_qpu_walk(
@@ -93,6 +96,7 @@ class RandomPlacement(PlacementAlgorithm):
         circuit: QuantumCircuit,
         cloud: QuantumCloud,
         seed: Optional[int] = None,
+        context: Optional["PlacementContext"] = None,
     ) -> Placement:
         rng = np.random.default_rng(seed)
         mapping = random_mapping(circuit, cloud, rng)

@@ -10,7 +10,7 @@ a geometric cooling schedule.  The objective is the paper's communication cost
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
@@ -19,6 +19,9 @@ from ..cloud import QuantumCloud
 from .base import Placement, PlacementAlgorithm
 from .random_placement import random_mapping
 from .scoring import score_mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import PlacementContext
 
 
 class SimulatedAnnealingPlacement(PlacementAlgorithm):
@@ -51,9 +54,14 @@ class SimulatedAnnealingPlacement(PlacementAlgorithm):
         circuit: QuantumCircuit,
         cloud: QuantumCloud,
         seed: Optional[int] = None,
+        context: Optional["PlacementContext"] = None,
     ) -> Placement:
         rng = np.random.default_rng(seed)
-        interaction = InteractionGraph.from_circuit(circuit)
+        interaction = (
+            context.interaction(circuit)
+            if context is not None
+            else InteractionGraph.from_circuit(circuit)
+        )
         adjacency = interaction.adjacency()
 
         mapping = random_mapping(circuit, cloud, rng)

@@ -204,3 +204,111 @@ class TestBatchOrderingEffects:
             for _ in range(3)
         }
         assert len(outcomes) > 1
+
+
+class TestIncrementalPlacementFastPath:
+    """The failure-signature skip and shared PlacementContext (PR 4) must be
+    bit-identical to from-scratch recomputation for any seeded run."""
+
+    @staticmethod
+    def _result_key(result):
+        return (
+            result.job_id,
+            result.circuit_name,
+            result.arrival_time,
+            result.placement_time,
+            result.completion_time,
+            result.num_remote_operations,
+            result.num_qpus_used,
+            result.outcome,
+        )
+
+    @staticmethod
+    def _aligned_run(incremental, circuits, arrivals, seed):
+        # Network-scheduler tiebreaks read job-id strings, so comparable runs
+        # must mint identical ids: realign the process-global counter.
+        import itertools
+
+        from repro.cloud import job as job_module
+
+        job_module._job_counter = itertools.count()
+        topology = CloudTopology.line(4)
+        cloud = QuantumCloud(
+            topology,
+            computing_qubits_per_qpu=16,
+            communication_qubits_per_qpu=4,
+            epr_success_probability=0.9,
+        )
+        simulator = make_simulator(
+            cloud,
+            batch_manager=fifo_batch_manager(),
+            incremental_placement=incremental,
+        )
+        return simulator.run_stream(circuits, arrivals, seed=seed)
+
+    @pytest.mark.parametrize("seed", [1, 2, 11])
+    def test_stream_bit_identical_with_and_without_fast_path(self, seed):
+        from repro.multitenant import generate_cluster_trace
+
+        trace = generate_cluster_trace(
+            60,
+            num_tenants=20,
+            base_rate=0.2,
+            seed=seed,
+            names=["ghz_n12", "ghz_n16", "qft_n16", "ghz_n20"],
+        )
+        fast = self._aligned_run(True, trace.circuits, trace.arrival_times, seed)
+        full = self._aligned_run(False, trace.circuits, trace.arrival_times, seed)
+        assert [self._result_key(r) for r in fast] == [
+            self._result_key(r) for r in full
+        ]
+
+    def test_batch_mode_bit_identical_with_and_without_fast_path(self):
+        circuits = [ghz(24), ising(34), ghz(16), ghz(24)]
+        fast = self._aligned_run(True, circuits, [0.0] * 4, seed=4)
+        full = self._aligned_run(False, circuits, [0.0] * 4, seed=4)
+        assert [self._result_key(r) for r in fast] == [
+            self._result_key(r) for r in full
+        ]
+
+    def test_failure_signature_bookkeeping(self):
+        from repro.multitenant.cluster_sim import _EventDrivenBatch
+
+        cloud = contended_cloud()
+        simulator = make_simulator(cloud, batch_manager=fifo_batch_manager())
+        # Two jobs fill the cloud; the third (24 qubits > 16+16-32 free) waits
+        # until a release, so its failed attempt leaves a signature behind.
+        batch = _EventDrivenBatch(
+            simulator, [ghz(24), ghz(8), ghz(24)], [0.0, 0.0, 0.0], seed=3
+        )
+        results = batch.execute()
+        assert len(results) == 3
+        assert all(r.completed for r in results)
+        # Every signature belongs to a job that eventually placed: placement
+        # pops its entry, so nothing may linger after the run drains.
+        assert batch.failure_signatures == {}
+
+    def test_fast_path_skips_repeat_attempts(self, monkeypatch):
+        """On an unchanged cloud, a failed job is re-attempted at most once."""
+        from repro.multitenant import cluster_sim as sim_module
+        from repro.multitenant.arrivals import uniform_arrivals
+
+        attempts = []
+        original = sim_module._EventDrivenBatch._try_place
+
+        def spy(self, job, seed):
+            attempts.append((job.job_id, self.cloud.resource_version))
+            return original(self, job, seed)
+
+        monkeypatch.setattr(sim_module._EventDrivenBatch, "_try_place", spy)
+        cloud = contended_cloud()
+        simulator = make_simulator(cloud, batch_manager=fifo_batch_manager())
+        # A stream of arrivals while the cloud is busy: each new arrival
+        # triggers a pass at an unchanged version, which must not re-run the
+        # pipeline for the already-failed pending jobs.
+        circuits = [ghz(24), ghz(24), ghz(24), ghz(24), ghz(24)]
+        simulator.run_stream(circuits, uniform_arrivals(5, 4.0, start=0.0), seed=2)
+        assert len(attempts) == len(set(attempts)), (
+            "a (job, resource_version) pair was attempted twice despite an "
+            "unchanged failure signature"
+        )

@@ -48,6 +48,32 @@ class TestBfsSelection:
         selection = bfs_qpu_set(cloud, 5)
         assert selection == [2]
 
+    def test_bfs_min_qpus_floor_enforced_when_capacity_already_covered(self):
+        # Regression: the fallback used to stop once capacity was covered,
+        # quietly returning fewer than ``min_qpus`` QPUs.  With plenty of
+        # usable QPUs the floor must be honored even though the start QPU
+        # alone covers the requirement.
+        topology = CloudTopology.line(5)
+        cloud = QuantumCloud(topology, computing_qubits_per_qpu=10)
+        selection = bfs_qpu_set(cloud, 4, min_qpus=4, start=0)
+        assert len(selection) >= 4
+
+    def test_bfs_min_qpus_unreachable_raises(self):
+        # Disconnected-availability path: only two QPUs have any free
+        # capacity, so a min_qpus=4 floor is impossible and must raise
+        # instead of quietly returning a 2-QPU set.
+        topology = CloudTopology.line(5)
+        cloud = QuantumCloud(topology, computing_qubits_per_qpu=4)
+        # Drain QPUs 1, 2 and 3; free capacity survives only on QPUs 0 and 4.
+        cloud.admit("hog", {i: 1 + i // 4 for i in range(12)})
+        assert sorted(
+            q for q, free in cloud.available_computing().items() if free > 0
+        ) == [0, 4]
+        with pytest.raises(CommunityError, match="need 4"):
+            bfs_qpu_set(cloud, 6, min_qpus=4)
+        # The same request without the floor still succeeds.
+        assert bfs_qpu_set(cloud, 6, min_qpus=2) == [0, 4]
+
 
 class TestCommunitySelection:
     def test_community_covers_required_capacity(self, default_cloud):
