@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Run the placement hot-path benchmark and emit ``BENCH_4.json``.
+"""Run a perf benchmark and emit its ``BENCH_<n>.json`` artifact.
 
-Measures the three headline numbers of the incremental-placement fast path
+``--bench 4`` (the default) measures the incremental-placement fast path
 (PR 4) by driving the same workload builders as
 ``benchmarks/test_placement_hotpath.py``:
 
@@ -10,14 +10,24 @@ Measures the three headline numbers of the incremental-placement fast path
 * busy-cloud replay wall time with the fast path on and off, and the
   resulting speedup.
 
+``--bench 5`` measures the preemption subsystem (PR 5) on the overloaded
+anchor/burst trace of ``benchmarks/test_stream_preemption.py``:
+
+* deadline-rescue vs. never-preempt: expired-job count and the drop-aware
+  p99 JCT (expired jobs count as an unbounded completion time);
+* the cost of the machinery when disabled (two never-preempt runs; the
+  disabled path is structurally one branch per decision point, so the
+  measured delta bounds the overhead by timing noise) and when enabled but
+  inert (a no-op policy that builds the decision view every tick).
+
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py            # CI smoke scale
-    PYTHONPATH=src python scripts/bench_report.py --full     # 5005-job replay
-    PYTHONPATH=src python scripts/bench_report.py --cycles 40 --out BENCH_4.json
+    PYTHONPATH=src python scripts/bench_report.py                  # BENCH_4, CI scale
+    PYTHONPATH=src python scripts/bench_report.py --bench 5        # BENCH_5, CI scale
+    PYTHONPATH=src python scripts/bench_report.py --bench 5 --full # 5015-job replay
 
 The default scale is the CI perf-smoke trace (a handful of anchor/burst
-cycles); ``--full`` restores the acceptance-scale 5005-job replay.
+cycles); ``--full`` restores the acceptance-scale multi-thousand-job replay.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from __future__ import annotations
 import argparse
 import importlib.util
 import json
+import math
 import pathlib
 import platform
 import sys
@@ -34,16 +45,29 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.circuits.library import get_circuit  # noqa: E402
+from repro.multitenant import (  # noqa: E402
+    NeverPreempt,
+    StreamSummary,
+    drop_aware_jct_percentile,
+)
 from repro.placement import CloudQCPlacement, PlacementContext  # noqa: E402
 
 
-def _load_hotpath_module():
-    """Import the benchmark module so script and pytest share one workload."""
-    path = REPO_ROOT / "benchmarks" / "test_placement_hotpath.py"
-    spec = importlib.util.spec_from_file_location("placement_hotpath", path)
+def _load_benchmark_module(filename: str, name: str):
+    """Import a benchmark module so script and pytest share one workload."""
+    path = REPO_ROOT / "benchmarks" / filename
+    spec = importlib.util.spec_from_file_location(name, path)
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def _load_hotpath_module():
+    return _load_benchmark_module("test_placement_hotpath.py", "placement_hotpath")
+
+
+def _load_preemption_module():
+    return _load_benchmark_module("test_stream_preemption.py", "stream_preemption")
 
 
 def measure_attempt_cost(hotpath, rounds: int) -> dict:
@@ -98,32 +122,89 @@ def measure_replay(hotpath, cycles: int, fillers: int) -> dict:
     }
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--cycles", type=int, default=None, help="anchor/burst cycles")
-    parser.add_argument("--fillers", type=int, default=None, help="fillers per cycle")
-    parser.add_argument("--rounds", type=int, default=25, help="attempt-cost rounds")
-    parser.add_argument(
-        "--full",
-        action="store_true",
-        help="acceptance scale (the 5005-job replay) instead of the CI smoke scale",
-    )
-    parser.add_argument("--out", default="BENCH_4.json", help="output JSON path")
-    args = parser.parse_args(argv)
+def _jsonable(value: float) -> object:
+    """inf does not survive strict JSON; encode it explicitly."""
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    return value
 
+
+def _preemption_leg(module, policy, cycles: int, fillers: int) -> dict:
+    results, seconds = module.run_replay(policy, cycles, fillers)
+    summary = StreamSummary.from_results(results)
+    return {
+        "policy": policy.name,
+        "seconds": seconds,
+        "completed": summary.completed,
+        "expired": summary.expired,
+        "stranded": summary.preemption.stranded,
+        "preemption_events": summary.preemption.preemption_events,
+        "wasted_time": summary.preemption.wasted_time,
+        "p99_jct_drop_aware": _jsonable(drop_aware_jct_percentile(results, 99)),
+        "p99_jct_completed": summary.completion.p99,
+    }
+
+
+def measure_preemption(module, cycles: int, fillers: int) -> dict:
+    """Deadline-rescue impact + the cost of the machinery when off/inert."""
+    # Throwaway warm-up so one-time costs (circuit-library cache, imports)
+    # are not charged to the first timed leg -- otherwise both overhead
+    # deltas compare a cold run against warm ones and come out deflated.
+    module.run_replay(NeverPreempt(), min(2, cycles), fillers)
+    # Two identical disabled runs: the second prices the "preemption-off"
+    # overhead against the PR-4 code path (which golden tests pin as the
+    # bit-identical twin of the NeverPreempt configuration), bounded by
+    # timing noise since the disabled stage is one branch per decision point.
+    baseline = _preemption_leg(module, NeverPreempt(), cycles, fillers)
+    repeat = _preemption_leg(module, NeverPreempt(), cycles, fillers)
+    # The benchmark module's own enabled-but-inert policy, so the script
+    # and the pytest assertion price the exact same hook.
+    noop = _preemption_leg(module, module._EnabledNoOp(), cycles, fillers)
+    rescue = _preemption_leg(
+        module, module.DeadlineRescue(horizon=module.RESCUE_HORIZON),
+        cycles, fillers,
+    )
+    overhead_disabled_pct = 100.0 * (
+        repeat["seconds"] - baseline["seconds"]
+    ) / baseline["seconds"]
+    overhead_enabled_noop_pct = 100.0 * (
+        noop["seconds"] - baseline["seconds"]
+    ) / baseline["seconds"]
+    baseline_p99 = baseline["p99_jct_drop_aware"]
+    rescue_p99 = rescue["p99_jct_drop_aware"]
+    if rescue_p99 == "inf":
+        p99_reduced = False
+    elif baseline_p99 == "inf":
+        p99_reduced = True
+    else:
+        p99_reduced = rescue_p99 < baseline_p99
+    return {
+        "num_jobs": cycles * (1 + fillers),
+        "cycles": cycles,
+        "fillers_per_cycle": fillers,
+        "queueing_deadline": module.DEADLINE,
+        "rescue_horizon": module.RESCUE_HORIZON,
+        "never_preempt": baseline,
+        "never_preempt_repeat": repeat,
+        "enabled_noop": noop,
+        "deadline_rescue": rescue,
+        "overhead_disabled_pct": overhead_disabled_pct,
+        "overhead_enabled_noop_pct": overhead_enabled_noop_pct,
+        "expired_jobs_saved": baseline["expired"] - rescue["expired"],
+        "p99_reduced": p99_reduced,
+    }
+
+
+def run_bench4(args) -> tuple[dict, bool]:
     hotpath = _load_hotpath_module()
     cycles = args.cycles or (hotpath.CYCLES if args.full else 12)
     fillers = args.fillers or hotpath.FILLERS_PER_CYCLE
-
     report = {
         "benchmark": "placement-hotpath",
         "python": platform.python_version(),
         "attempt_cost": measure_attempt_cost(hotpath, args.rounds),
         "replay": measure_replay(hotpath, cycles, fillers),
     }
-    out = pathlib.Path(args.out)
-    out.write_text(json.dumps(report, indent=2) + "\n")
-
     attempt = report["attempt_cost"]
     replay = report["replay"]
     print(
@@ -139,11 +220,65 @@ def main(argv=None) -> int:
         f"speedup={replay['replay_speedup']:.1f}x "
         f"bit-identical={replay['bit_identical']}"
     )
-    print(f"wrote {out}")
     if not replay["bit_identical"]:
         print("ERROR: fast-path replay diverged from the from-scratch replay")
-        return 1
-    return 0
+        return report, False
+    return report, True
+
+
+def run_bench5(args) -> tuple[dict, bool]:
+    module = _load_preemption_module()
+    cycles = args.cycles or (module.CYCLES if args.full else 20)
+    fillers = args.fillers or module.FILLERS_PER_CYCLE
+    report = {
+        "benchmark": "stream-preemption",
+        "python": platform.python_version(),
+        "preemption": measure_preemption(module, cycles, fillers),
+    }
+    data = report["preemption"]
+    base, rescue = data["never_preempt"], data["deadline_rescue"]
+    print(
+        f"never-preempt  ({data['num_jobs']} jobs): {base['seconds']:.1f}s "
+        f"expired={base['expired']} p99*={base['p99_jct_drop_aware']}"
+    )
+    print(
+        f"deadline-rescue: {rescue['seconds']:.1f}s expired={rescue['expired']} "
+        f"evictions={rescue['preemption_events']} "
+        f"p99*={rescue['p99_jct_drop_aware']}"
+    )
+    print(
+        f"overhead: disabled={data['overhead_disabled_pct']:+.1f}% "
+        f"(noise bound) enabled-noop={data['overhead_enabled_noop_pct']:+.1f}%"
+    )
+    ok = rescue["expired"] < base["expired"] and data["p99_reduced"]
+    if not ok:
+        print("ERROR: deadline-rescue failed to improve the overloaded trace")
+    return report, ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench", type=int, choices=(4, 5), default=4,
+        help="which BENCH_<n>.json to produce (4=placement, 5=preemption)",
+    )
+    parser.add_argument("--cycles", type=int, default=None, help="anchor/burst cycles")
+    parser.add_argument("--fillers", type=int, default=None, help="fillers per cycle")
+    parser.add_argument("--rounds", type=int, default=25, help="attempt-cost rounds")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="acceptance scale (the multi-thousand-job replay) instead of "
+        "the CI smoke scale",
+    )
+    parser.add_argument("--out", default=None, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    report, ok = run_bench4(args) if args.bench == 4 else run_bench5(args)
+    out = pathlib.Path(args.out or f"BENCH_{args.bench}.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -8,7 +8,8 @@ and exposes the weighted QPU graph that community detection runs on.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 import networkx as nx
 
@@ -192,6 +193,47 @@ class QuantumCloud:
     def release(self, job_id: str) -> int:
         """Free every computing qubit held by ``job_id``; returns the total freed."""
         return sum(q.release_computing(job_id) for q in self.qpus.values())
+
+    @contextmanager
+    def preview_without(self, job_id: str) -> Iterator["QuantumCloud"]:
+        """What-if view of the cloud with ``job_id``'s qubits released.
+
+        Inside the block the job's computing qubits are genuinely free, so
+        placement algorithms can explore a re-placement (migration) against
+        the real object.  On exit the reservation, the per-QPU mutation
+        counters, and the version-keyed caches are all restored, so an
+        uncommitted exploration leaves :attr:`resource_version` -- and with
+        it every failure signature and placement cache keyed by it --
+        untouched.
+
+        Because the in-block versions are rolled back and may recur later
+        with a *different* availability map, callers must not let any
+        version-keyed cache observe the block (pass ``context=None`` to
+        placement attempts) and must not mutate the cloud inside it.
+        """
+        freed = {
+            qpu_id: qpu.computing_held_by(job_id)
+            for qpu_id, qpu in self.qpus.items()
+            if qpu.computing_held_by(job_id) > 0
+        }
+        counters = {
+            qpu_id: qpu.computing_version for qpu_id, qpu in self.qpus.items()
+        }
+        graph_cache = self._resource_graph_cache
+        available_cache = self._available_cache
+        self.release(job_id)
+        try:
+            yield self
+        finally:
+            for qpu_id, amount in freed.items():
+                self.qpus[qpu_id].allocate_computing(job_id, amount)
+            for qpu_id, qpu in self.qpus.items():
+                # Private by convention, but the cloud owns its QPUs: the
+                # counters must return to their pre-preview values so equal
+                # versions keep implying equal availability maps.
+                qpu._computing_version = counters[qpu_id]
+            self._resource_graph_cache = graph_cache
+            self._available_cache = available_cache
 
     def active_jobs(self) -> List[str]:
         jobs = set()

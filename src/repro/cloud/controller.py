@@ -59,9 +59,58 @@ class Controller:
         self.cloud.release(job.job_id)
         job.mark_completed(time)
 
-    def fail(self, job: Job) -> None:
-        self.cloud.release(job.job_id)
+    def drop(self, job: Job) -> None:
+        """Terminal drop (rejected / expired / abandoned): one transition for
+        every path that removes a job from the system without completing it.
+
+        Computing qubits are released iff the job actually holds a
+        reservation (PLACED or RUNNING); a never-admitted job -- rejected at
+        arrival or expired in the pending queue -- must not touch the cloud.
+        """
+        if job.status in (JobStatus.PLACED, JobStatus.RUNNING):
+            self.cloud.release(job.job_id)
         job.mark_failed()
+
+    def fail(self, job: Job) -> None:
+        """Deprecated spelling of :meth:`drop` (kept for API compatibility)."""
+        self.drop(job)
+
+    def preempt(self, job: Job, time: float) -> None:
+        """Evict a placed/running job back to PENDING, freeing its qubits.
+
+        The job keeps its identity and arrival time and may be re-placed by a
+        later placement pass; how much of its work survives is the
+        simulator's work-loss model, not the controller's concern.
+        """
+        if job.status not in (JobStatus.PLACED, JobStatus.RUNNING):
+            raise PlacementError(
+                f"job {job.job_id} cannot be preempted from {job.status.value}"
+            )
+        self.cloud.release(job.job_id)
+        job.mark_preempted(time)
+
+    def migrate(self, job: Job, placement: Mapping[int, int], time: float) -> None:
+        """Atomically move a placed/running job onto a new placement.
+
+        The old reservation is released and the new one admitted as one
+        transition: if the new placement does not fit, the old reservation is
+        restored and :class:`PlacementError` propagates, so the job never
+        ends up holding nothing (or both).
+        """
+        if job.status not in (JobStatus.PLACED, JobStatus.RUNNING):
+            raise PlacementError(
+                f"job {job.job_id} cannot be migrated from {job.status.value}"
+            )
+        old_placement = dict(job.placement or {})
+        self.cloud.release(job.job_id)
+        try:
+            self.cloud.admit(job.job_id, placement)
+        except PlacementError:
+            if old_placement:
+                # The old qubits were freed a moment ago, so this cannot fail.
+                self.cloud.admit(job.job_id, old_placement)
+            raise
+        job.mark_migrated(placement, time)
 
     # ------------------------------------------------------------------
     # Monitoring

@@ -44,6 +44,10 @@ class Job:
     placement: Optional[Dict[int, int]] = None
     start_time: Optional[float] = None
     completion_time: Optional[float] = None
+    num_preemptions: int = 0
+    num_migrations: int = 0
+    last_preempted_time: Optional[float] = None
+    last_migrated_time: Optional[float] = None
 
     @property
     def name(self) -> str:
@@ -102,6 +106,20 @@ class Job:
 
     def mark_failed(self) -> None:
         self.status = JobStatus.FAILED
+
+    def mark_preempted(self, time: float) -> None:
+        """Return to PENDING with no placement (the controller freed it)."""
+        self.placement = None
+        self.start_time = None
+        self.status = JobStatus.PENDING
+        self.num_preemptions += 1
+        self.last_preempted_time = time
+
+    def mark_migrated(self, placement: Dict[int, int], time: float) -> None:
+        """Adopt a new placement without leaving the running state."""
+        self.placement = dict(placement)
+        self.num_migrations += 1
+        self.last_migrated_time = time
 
     @property
     def job_completion_time(self) -> Optional[float]:

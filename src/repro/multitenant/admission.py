@@ -42,6 +42,9 @@ class JobOutcome(str, enum.Enum):
     #: Admitted, but dropped from the pending queue when its queueing delay
     #: reached the policy's deadline before a placement succeeded.
     EXPIRED = "expired"
+    #: Placed at least once, evicted by a preemption policy, and never
+    #: resumed before the run ended (see :mod:`repro.multitenant.preemption`).
+    PREEMPTED = "preempted"
 
 
 class AdmissionPolicy:

@@ -32,6 +32,14 @@ queueing deadline get an *expiry* event per admitted job that drops it as
 :class:`~repro.multitenant.AdmitAll` policy admits everything and keeps the
 stream bit-identical to the pre-admission-control simulator.
 
+Placements are no longer irrevocable: a pluggable *preemption policy*
+(:mod:`repro.multitenant.preemption`) runs at every decision point between
+retire and place, and may evict running jobs back to the pending queue or
+migrate one onto a better placement; the work-loss model decides whether a
+resumed job keeps its banked EPR successes.  The default
+:class:`~repro.multitenant.NeverPreempt` disables the stage outright, keeping
+seeded runs bit-identical to the paper's irrevocable-placement behavior.
+
 Idle gaps (no runnable remote operation) are skipped by scheduling the next
 tick directly at the next completion time; upcoming arrivals are already queued
 as events.  While rounds are in flight, completions are acted on at round
@@ -75,6 +83,16 @@ from ..sim import (
 )
 from .admission import AdmissionPolicy, AdmitAll, JobOutcome
 from .batch_manager import BatchManager, priority_batch_manager
+from .preemption import (
+    WORK_LOSS_MODELS,
+    ClusterView,
+    JobProgress,
+    MigrateRequest,
+    NeverPreempt,
+    PendingJobView,
+    PreemptionPolicy,
+    RunningJobView,
+)
 
 
 class ClusterSimulationError(RuntimeError):
@@ -90,6 +108,16 @@ class TenantJobResult:
     or :attr:`~repro.multitenant.JobOutcome.EXPIRED` (queued past the
     policy's deadline), ``dropped_time`` records when the job left the
     system, and the placement/completion times are NaN.
+
+    Preemption (see :mod:`repro.multitenant.preemption`) adds transit
+    accounting: ``num_preemptions``/``num_migrations`` count how often the
+    job was evicted or moved on its way to ``outcome``, and ``wasted_time``
+    is the execution time whose work was discarded (non-zero only under the
+    ``restart`` work-loss model, or for jobs that ended preempted).  A job
+    evicted and never resumed by the end of the run is reported with
+    ``outcome="preempted"``: its ``placement_time`` records the *first*
+    placement (it did run), completion stays NaN, and ``dropped_time`` is
+    the final eviction instant.
     """
 
     job_id: str
@@ -101,6 +129,10 @@ class TenantJobResult:
     num_qpus_used: int
     outcome: JobOutcome = JobOutcome.COMPLETED
     dropped_time: Optional[float] = None
+    num_preemptions: int = 0
+    num_migrations: int = 0
+    wasted_time: float = 0.0
+    wasted_ops: int = 0
 
     @property
     def completed(self) -> bool:
@@ -117,13 +149,14 @@ class TenantJobResult:
 
     @property
     def queueing_delay(self) -> float:
-        """Time spent waiting in the pending queue.
+        """Time spent waiting in the pending queue before first placement.
 
-        For completed jobs this is the wait until placement; for expired jobs
-        the wait until the deadline dropped them.  Rejected jobs never queued,
-        so their delay is NaN.
+        For jobs that ran -- completed or stranded-preempted, both of which
+        carry a real first ``placement_time`` -- this is the wait until that
+        placement; for expired jobs the wait until the deadline dropped
+        them.  Rejected jobs never queued, so their delay is NaN.
         """
-        if self.completed:
+        if not math.isnan(self.placement_time):
             return self.placement_time - self.arrival_time
         if self.outcome == JobOutcome.EXPIRED and self.dropped_time is not None:
             return self.dropped_time - self.arrival_time
@@ -139,6 +172,10 @@ class _ActiveJob:
     start_time: float
     front: FrontLayer = field(init=False, repr=False)
     completion_time: Optional[float] = None
+    #: Operations whose success was sampled for the in-flight EPR round but
+    #: whose round has not ended yet.  A preemption mid-round must not bank
+    #: them: the job loses its qubits before the round completes.
+    in_flight_ops: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         self.front = FrontLayer(self.remote_dag, start_time=self.start_time)
@@ -159,6 +196,16 @@ class _ActiveJob:
 
     def finish_operation(self, node_id: int, finish_time: float) -> None:
         self.front.finish(node_id, finish_time)
+        if self.front.done:
+            self.completion_time = max(
+                self.start_time + self.local_time, self.front.last_finish
+            )
+
+    def restore_progress(self, completed_ops: int, now: float) -> None:
+        """Credit the EPR rounds a resumed job already banked (no RNG)."""
+        if self.remote_dag.num_operations == 0 or completed_ops <= 0:
+            return
+        self.front.fast_forward(completed_ops, now)
         if self.front.done:
             self.completion_time = max(
                 self.start_time + self.local_time, self.front.last_finish
@@ -205,6 +252,18 @@ class _EventDrivenBatch:
         self.incremental = simulator.incremental_placement
         self.placement_context = PlacementContext() if self.incremental else None
         self.failure_signatures: Dict[str, Tuple[int, int]] = {}
+        # Preemption & migration (see docs/architecture.md): the policy runs
+        # at every decision point between retire and place.  NeverPreempt
+        # (the default) sets enabled=False, which skips the stage outright
+        # so seeded runs stay bit-identical to the pre-preemption simulator.
+        self.preemption = simulator.preemption_policy
+        self.preemption.reset()
+        self.preemption_enabled = bool(self.preemption.enabled)
+        self.resume_work = simulator.work_loss == "resume"
+        self.progress: Dict[str, JobProgress] = {}
+        # Migration attempts are version-guarded: re-placing a job is only
+        # tried again after the availability map actually changed.
+        self.migration_attempt_versions: Dict[str, int] = {}
         self.active: Dict[str, _ActiveJob] = {}
         self.expiry_handles: Dict[str, EventHandle] = {}
         self.results: List[TenantJobResult] = []
@@ -227,7 +286,11 @@ class _EventDrivenBatch:
         def on_arrival(loop: EventLoop) -> None:
             now = loop.now
             if not self.admission.admit(job, now, len(self.pending)):
-                job.mark_failed()
+                # One drop transition for every removal path: the controller
+                # releases reservations iff the job actually holds any (a
+                # rejected job never did), so the drop cannot disturb the
+                # cloud's resource version.
+                self.controller.drop(job)
                 self.results.append(
                     self._dropped_result(job, JobOutcome.REJECTED, now)
                 )
@@ -243,6 +306,16 @@ class _EventDrivenBatch:
                     self._expiry_callback(job),
                     label=f"expire:{job.job_id}",
                 )
+                if self.preemption_enabled:
+                    # Give the policy a decision point *before* the expiry
+                    # event fires (e.g. DeadlineRescue's horizon check).
+                    check = self.preemption.rescue_check_time(job, deadline)
+                    if check is not None:
+                        self.loop.schedule_at(
+                            max(check, now),
+                            self._rescue_check_callback(job),
+                            label=f"preempt-check:{job.job_id}",
+                        )
             self.resources_changed = True
             self._request_tick(now)
 
@@ -260,12 +333,21 @@ class _EventDrivenBatch:
             if job.num_qubits <= self.min_pending_qubits:
                 self._recompute_min_pending()
             self.failure_signatures.pop(job.job_id, None)
-            job.mark_failed()
+            self.controller.drop(job)
             self.results.append(
                 self._dropped_result(job, JobOutcome.EXPIRED, loop.now)
             )
 
         return on_expiry
+
+    def _rescue_check_callback(self, job: Job):
+        def on_check(loop: EventLoop) -> None:
+            if job.status is JobStatus.PENDING:
+                # An extra decision point; ticks are idempotent, so running
+                # one here alongside an outstanding tick event is harmless.
+                self._tick(loop)
+
+        return on_check
 
     def _recompute_min_pending(self) -> None:
         self.min_pending_qubits = min(
@@ -286,11 +368,20 @@ class _EventDrivenBatch:
         self.tick_handle = self.loop.schedule_at(time, self._tick, label="tick")
 
     def _tick(self, loop: EventLoop) -> None:
-        """One scheduler decision point: retire, place, start the next round."""
+        """One scheduler decision point: retire, preempt, place, start the
+        next round."""
         self.tick_handle = None
         now = loop.now
         self._retire(now)
+        evicted = self._run_preemption(now) if self.preemption_enabled else []
         self._place(now)
+        if evicted:
+            # Victims rejoin the queue only after the beneficiaries of their
+            # eviction had their placement pass (an earlier-arrived victim
+            # would otherwise win the freed qubits right back under FIFO
+            # ordering); a second pass then lets them use leftover capacity.
+            self._requeue(evicted)
+            self._place(now)
         if self.round_end_time is not None:
             return  # a round is in flight; its end event continues the chain
         runnable = [state for state in self.active.values() if state.ready]
@@ -313,6 +404,10 @@ class _EventDrivenBatch:
 
     def _on_round_end(self, loop: EventLoop) -> None:
         self.round_end_time = None
+        for state in self.active.values():
+            # This round's sampled successes are now real: the entanglement
+            # exists, only the local tail remains, so they become bankable.
+            state.in_flight_ops = 0
         self._tick(loop)
 
     # ------------------------------------------------------------------
@@ -380,13 +475,7 @@ class _EventDrivenBatch:
             self.controller.place(job, placement.mapping)
             self.controller.start(job, now)
             version = self.cloud.resource_version
-            self.active[job.job_id] = _ActiveJob(
-                job=job,
-                placement=placement,
-                remote_dag=RemoteDAG(job.circuit, placement.mapping),
-                local_time=local_execution_time(job.circuit, self.latency),
-                start_time=now,
-            )
+            self._activate(job, placement, now)
             available -= job.num_qubits
             placed.add(job.job_id)
         if placed:
@@ -401,6 +490,171 @@ class _EventDrivenBatch:
                     handle.cancel()
             self._recompute_min_pending()
         self.resources_changed = bool(placed)
+
+    def _activate(self, job: Job, placement: Placement, now: float) -> _ActiveJob:
+        """Build the execution state for a (re-)placed job.
+
+        A job that was preempted or migrated carries a :class:`JobProgress`
+        ledger; under the ``resume`` work-loss model its banked local
+        execution time and already-succeeded EPR rounds are credited here,
+        so resumed work is never redone (under ``restart`` the ledger is
+        empty and the job starts from scratch).
+        """
+        local_time = local_execution_time(job.circuit, self.latency)
+        prog = self.progress.get(job.job_id)
+        if prog is not None:
+            local_time = max(0.0, local_time - prog.elapsed_local)
+        state = _ActiveJob(
+            job=job,
+            placement=placement,
+            remote_dag=RemoteDAG(job.circuit, placement.mapping),
+            local_time=local_time,
+            start_time=now,
+        )
+        if prog is not None and prog.completed_ops > 0:
+            state.restore_progress(prog.completed_ops, now)
+        self.active[job.job_id] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # Preemption & migration stage
+    # ------------------------------------------------------------------
+    def _run_preemption(self, now: float) -> List[Job]:
+        """Let the policy evict/migrate running jobs at this decision point.
+
+        Returns the evicted jobs; the caller requeues them *after* the
+        placement pass so the jobs the eviction was for are seated first.
+        """
+        if not self.active:
+            return []
+        evicted: List[Job] = []
+        for action in self.preemption.decide(self._cluster_view(now)):
+            state = self.active.get(action.job_id)
+            if state is None:
+                continue  # stale id: already retired or evicted this pass
+            if state.completion_time is not None and state.completion_time <= now:
+                continue  # effectively finished; retiring beats evicting
+            if isinstance(action, MigrateRequest):
+                self._attempt_migration(state, now)
+            else:
+                self._preempt(state, now)
+                evicted.append(state.job)
+        return evicted
+
+    def _requeue(self, evicted: Sequence[Job]) -> None:
+        for job in evicted:
+            self.pending.append(job)
+            self.min_pending_qubits = min(
+                self.min_pending_qubits, job.num_qubits
+            )
+        self.resources_changed = True
+
+    def _cluster_view(self, now: float) -> ClusterView:
+        metric = self.simulator.batch_manager.metric
+        pending = tuple(
+            PendingJobView(
+                job_id=job.job_id,
+                num_qubits=job.num_qubits,
+                arrival_time=job.arrival_time,
+                waited=now - job.arrival_time,
+                priority=metric(job),
+                deadline=self._deadline_of(job),
+                num_preemptions=job.num_preemptions,
+            )
+            for job in self.simulator.batch_manager.order(self.pending, now=now)
+        )
+        running = []
+        for job_id, state in sorted(
+            self.active.items(), key=lambda item: (len(item[0]), item[0])
+        ):
+            snapshot = state.front.snapshot()
+            running.append(
+                RunningJobView(
+                    job_id=job_id,
+                    num_qubits=state.job.num_qubits,
+                    priority=metric(state.job),
+                    start_time=state.start_time,
+                    elapsed=now - state.start_time,
+                    completed_ops=snapshot["completed"],
+                    total_ops=snapshot["total"],
+                    num_qpus_used=state.placement.num_qpus_used,
+                    qubits_per_qpu=state.job.qubits_per_qpu(),
+                )
+            )
+        return ClusterView(
+            now=now,
+            pending=pending,
+            running=tuple(running),
+            available=self.cloud.total_computing_available(),
+            available_per_qpu=self.cloud.available_computing(),
+        )
+
+    def _deadline_of(self, job: Job) -> Optional[float]:
+        handle = self.expiry_handles.get(job.job_id)
+        if handle is None or handle.cancelled:
+            return None
+        return handle.time
+
+    def _preempt(self, state: _ActiveJob, now: float) -> None:
+        """RUNNING -> PENDING: free the qubits, requeue, settle the ledger."""
+        job = state.job
+        progress = self.progress.setdefault(job.job_id, JobProgress())
+        progress.record_stop(
+            start_time=state.start_time,
+            # Ops sampled for the still-in-flight round never finished: the
+            # job loses its qubits mid-round, so they are not banked.
+            completed_ops=state.completed_ops - state.in_flight_ops,
+            now=now,
+            resume=self.resume_work,
+        )
+        self.controller.preempt(job, now)
+        del self.active[job.job_id]
+        # The caller requeues the job after the placement pass; no fresh
+        # expiry is ever scheduled for it (the job was admitted once), so a
+        # rescue can never cascade onto its own victims.
+        self.failure_signatures.pop(job.job_id, None)
+        self.resources_changed = True
+
+    def _attempt_migration(self, state: _ActiveJob, now: float) -> bool:
+        """Try re-placing a running job; commit only on a strict improvement.
+
+        The exploratory attempt runs against a what-if view of the cloud
+        minus the job's own reservation (:meth:`QuantumCloud.
+        preview_without`), which leaves the resource version -- and every
+        failure signature / placement cache keyed by it -- untouched when
+        nothing is committed.  The attempt is version-guarded so an
+        unchanged availability map is never re-explored, and it bypasses the
+        shared placement context: the preview's rolled-back versions must
+        never enter a version-keyed cache.
+        """
+        job = state.job
+        version = self.cloud.resource_version
+        if self.migration_attempt_versions.get(job.job_id) == version:
+            return False
+        old_qpus_used = state.placement.num_qpus_used
+        seed = int(self.rng.integers(1 << 31))
+        with self.cloud.preview_without(job.job_id):
+            try:
+                placement = self.simulator.placement_algorithm.place(
+                    job.circuit, self.cloud, seed=seed, context=None
+                )
+            except (MappingError, CommunityError, PlacementError):
+                placement = None
+        if placement is None or placement.num_qpus_used >= old_qpus_used:
+            self.migration_attempt_versions[job.job_id] = version
+            return False
+        progress = self.progress.setdefault(job.job_id, JobProgress())
+        progress.record_stop(
+            start_time=state.start_time,
+            completed_ops=state.completed_ops - state.in_flight_ops,
+            now=now,
+            resume=self.resume_work,
+        )
+        self.controller.migrate(job, placement.mapping, now)
+        self._activate(job, placement, now)
+        self.migration_attempt_versions.pop(job.job_id, None)
+        self.resources_changed = True
+        return True
 
     def _start_round(self, loop: EventLoop, runnable: Sequence[_ActiveJob]) -> None:
         """Allocate communication qubits, sample this round's EPR successes."""
@@ -421,9 +675,9 @@ class _EventDrivenBatch:
             if self.epr_model.sample_round(
                 request.qpu_a, request.qpu_b, granted, self.rng
             ):
-                self.active[job_id].finish_operation(
-                    node_id, round_end + self.round_tail
-                )
+                state = self.active[job_id]
+                state.finish_operation(node_id, round_end + self.round_tail)
+                state.in_flight_ops += 1
         self.round_end_time = round_end
         loop.schedule_at(round_end, self._on_round_end, label="epr-round")
 
@@ -446,32 +700,56 @@ class _EventDrivenBatch:
             requests.extend(state.front.requests(state.job.job_id))
         return requests
 
-    @staticmethod
     def _dropped_result(
-        job: Job, outcome: JobOutcome, dropped_time: float
+        self, job: Job, outcome: JobOutcome, dropped_time: float
     ) -> TenantJobResult:
+        progress = self.progress.get(job.job_id)
+        wasted_time = progress.wasted_time if progress else 0.0
+        wasted_ops = progress.wasted_ops if progress else 0
+        placement_time = math.nan
+        if outcome is JobOutcome.PREEMPTED and progress is not None:
+            # The job did run: report its first placement, and everything it
+            # ever executed is lost work (including banked resume credit).
+            if progress.first_placement_time is not None:
+                placement_time = progress.first_placement_time
+            wasted_time += progress.elapsed_local
+            wasted_ops += progress.completed_ops
         return TenantJobResult(
             job_id=job.job_id,
             circuit_name=job.circuit.name,
             arrival_time=job.arrival_time,
-            placement_time=math.nan,
+            placement_time=placement_time,
             completion_time=math.nan,
             num_remote_operations=0,
             num_qpus_used=0,
             outcome=outcome,
             dropped_time=dropped_time,
+            num_preemptions=job.num_preemptions,
+            num_migrations=job.num_migrations,
+            wasted_time=wasted_time,
+            wasted_ops=wasted_ops,
         )
 
     def _result(self, state: _ActiveJob) -> TenantJobResult:
         assert state.completion_time is not None
+        progress = self.progress.get(state.job.job_id)
+        placement_time = state.start_time
+        if progress is not None and progress.first_placement_time is not None:
+            # Preempted/migrated along the way: queueing delay keeps
+            # measuring the wait for the *first* placement.
+            placement_time = progress.first_placement_time
         return TenantJobResult(
             job_id=state.job.job_id,
             circuit_name=state.job.circuit.name,
             arrival_time=state.job.arrival_time,
-            placement_time=state.start_time,
+            placement_time=placement_time,
             completion_time=state.completion_time,
             num_remote_operations=state.remote_dag.num_operations,
             num_qpus_used=state.placement.num_qpus_used,
+            num_preemptions=state.job.num_preemptions,
+            num_migrations=state.job.num_migrations,
+            wasted_time=progress.wasted_time if progress else 0.0,
+            wasted_ops=progress.wasted_ops if progress else 0,
         )
 
     # ------------------------------------------------------------------
@@ -485,9 +763,21 @@ class _EventDrivenBatch:
                 f"simulation exceeded {self.simulator.max_events} events"
             ) from exc
         if self.pending:
-            raise ClusterSimulationError(
-                "pending jobs can never be placed: insufficient resources"
-            )
+            if any(job.num_preemptions == 0 for job in self.pending):
+                raise ClusterSimulationError(
+                    "pending jobs can never be placed: insufficient resources"
+                )
+            # Every stranded job was evicted by the preemption policy and
+            # never found a new placement: that is a recorded scheduling
+            # outcome ("preempted"), not a simulator failure.
+            for job in self.pending:
+                self.controller.drop(job)
+                self.results.append(
+                    self._dropped_result(
+                        job, JobOutcome.PREEMPTED, job.last_preempted_time
+                    )
+                )
+            self.pending = []
         if self.active:  # pragma: no cover - defensive; the loop never drains
             raise ClusterSimulationError(
                 "event queue drained with unfinished active jobs"
@@ -514,12 +804,26 @@ class MultiTenantSimulator:
         max_events: int = 5_000_000,
         admission_policy: Optional[AdmissionPolicy] = None,
         incremental_placement: bool = True,
+        preemption_policy: Optional[PreemptionPolicy] = None,
+        work_loss: str = "resume",
     ) -> None:
         self.template_cloud = cloud
         self.placement_algorithm = placement_algorithm
         self.network_scheduler = network_scheduler
         self.batch_manager = batch_manager or priority_batch_manager()
         self.admission_policy = admission_policy or AdmitAll()
+        # Preemption/migration of placed jobs (see repro.multitenant.
+        # preemption): the default NeverPreempt keeps placements irrevocable
+        # and bit-identical to the pre-preemption simulator.  work_loss
+        # decides what a resumed job keeps: "resume" credits banked EPR
+        # successes and local execution time, "restart" redoes everything
+        # (the redone segment is reported as wasted_time).
+        self.preemption_policy = preemption_policy or NeverPreempt()
+        if work_loss not in WORK_LOSS_MODELS:
+            raise ValueError(
+                f"work_loss must be one of {WORK_LOSS_MODELS}, got {work_loss!r}"
+            )
+        self.work_loss = work_loss
         # The placement fast path: memoize placement inputs across attempts
         # and skip re-attempts whose failure signature is unchanged.  Off, the
         # simulator recomputes every attempt from scratch (the pre-fast-path

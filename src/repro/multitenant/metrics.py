@@ -30,7 +30,9 @@ class CompletionStats:
 
     @classmethod
     def from_times(cls, times: Sequence[float]) -> "CompletionStats":
-        if not times:
+        # len()-based emptiness: `not times` on a numpy array of 2+ elements
+        # raises the ambiguous-truth-value ValueError.
+        if len(times) == 0:
             return cls(count=0, mean=0.0, median=0.0, p90=0.0, p99=0.0, maximum=0.0)
         array = np.asarray(times, dtype=float)
         return cls(
@@ -45,7 +47,7 @@ class CompletionStats:
 
 def completion_cdf(times: Sequence[float]) -> List[Tuple[float, float]]:
     """Empirical CDF points (time, fraction completed), as plotted in Figs. 14-17."""
-    if not times:
+    if len(times) == 0:
         return []
     ordered = sorted(times)
     total = len(ordered)
@@ -54,16 +56,38 @@ def completion_cdf(times: Sequence[float]) -> List[Tuple[float, float]]:
 
 def fraction_completed_by(times: Sequence[float], deadline: float) -> float:
     """Fraction of jobs whose completion time is at most ``deadline``."""
-    if not times:
+    if len(times) == 0:
         return 0.0
     return sum(1 for t in times if t <= deadline) / len(times)
 
 
 def cdf_at_percentile(times: Sequence[float], percentile: float) -> float:
     """Completion time below which ``percentile`` percent of jobs finish."""
-    if not times:
+    if len(times) == 0:
         return 0.0
     return float(np.percentile(np.asarray(times, dtype=float), percentile))
+
+
+def drop_aware_jct_percentile(results: Sequence, percentile: float) -> float:
+    """JCT percentile over *all* submitted jobs, dropped ones counted as inf.
+
+    The completed-jobs-only percentile suffers survivorship bias: a policy
+    that drops its slowest jobs looks faster.  Here every rejected, expired
+    or stranded-preempted job contributes an unbounded completion time, so
+    the p-th percentile is finite only when more than ``(100 - p)%`` of the
+    submitted jobs actually completed.
+    """
+    if len(results) == 0:
+        return 0.0
+    jcts = [
+        result.job_completion_time if result.completed else math.inf
+        for result in results
+    ]
+    jcts.sort()
+    # Nearest-rank percentile: inf stays inf (np.percentile interpolates,
+    # which would turn a boundary between finite and inf into nan).
+    rank = min(len(jcts) - 1, max(0, math.ceil(percentile / 100.0 * len(jcts)) - 1))
+    return float(jcts[rank])
 
 
 def relative_to_baseline(
@@ -80,7 +104,7 @@ def relative_to_baseline(
 
 def makespan(times: Sequence[float]) -> float:
     """Completion time of the slowest job (batch makespan)."""
-    return max(times) if times else 0.0
+    return float(max(times)) if len(times) else 0.0
 
 
 # ----------------------------------------------------------------------
@@ -95,10 +119,11 @@ def outcome_counts(results: Iterable) -> Dict[str, int]:
 
 
 def rejection_rate(results: Sequence) -> float:
-    """Fraction of submitted jobs the admission policy dropped.
+    """Fraction of submitted jobs that did not run to completion.
 
-    Counts both arrivals rejected outright and admitted jobs that expired in
-    the queue; 0.0 for an empty result list.
+    Counts arrivals rejected outright, admitted jobs that expired in the
+    queue, and jobs stranded in the preempted state; 0.0 for an empty
+    result list.
     """
     if not results:
         return 0.0
@@ -157,18 +182,26 @@ class QueueingDelayStats:
 def queue_depth_timeseries(results: Iterable) -> List[Tuple[float, int]]:
     """Pending-queue depth over time, as (time, depth) step points.
 
-    Each admitted job contributes +1 at its arrival and -1 when it leaves
-    the queue (placement for completed jobs, the drop time for expired
-    ones); rejected jobs never enter the queue.  Events at the same
-    timestamp are netted, so a job placed at its own arrival instant does
-    not register as a depth change.
+    Each admitted job contributes +1 at its arrival and -1 when it first
+    leaves the queue (the first placement for jobs that ran -- including
+    stranded-preempted ones, whose ``placement_time`` records it -- and the
+    drop time for expired ones); rejected jobs never enter the queue.
+    Events at the same timestamp are netted, so a job placed at its own
+    arrival instant does not register as a depth change.
+
+    Limitation: per-job results carry only the *first* queue stay, so the
+    requeue intervals of preempted jobs are not visible here; under an
+    active preemption policy the series is exact for the arrival queue but
+    undercounts re-queued victims.
     """
     deltas: Dict[float, int] = {}
     for result in results:
         if result.outcome == JobOutcome.REJECTED:
             continue
         departure = (
-            result.placement_time if result.completed else result.dropped_time
+            result.placement_time
+            if not math.isnan(result.placement_time)
+            else result.dropped_time
         )
         if departure is None or math.isnan(departure):
             continue
@@ -190,6 +223,68 @@ def max_queue_depth(results: Iterable) -> int:
     return max((depth for _, depth in series), default=0)
 
 
+# ----------------------------------------------------------------------
+# Preemption / migration metrics
+# ----------------------------------------------------------------------
+def total_preemptions(results: Iterable) -> int:
+    """Total preemption events across the run (a job may contribute several)."""
+    return sum(getattr(result, "num_preemptions", 0) for result in results)
+
+
+def total_wasted_time(results: Iterable) -> float:
+    """Execution time whose work was discarded by preemptions/migrations.
+
+    Zero under the ``resume`` work-loss model unless a job ended the run
+    evicted (``outcome="preempted"``), in which case everything it ran is
+    counted as lost.
+    """
+    return float(sum(getattr(result, "wasted_time", 0.0) for result in results))
+
+
+@dataclass(frozen=True)
+class PreemptionStats:
+    """Transit accounting for the preemption subsystem.
+
+    ``preempted_jobs`` counts jobs evicted at least once (whatever their
+    final outcome); ``stranded`` counts jobs whose run *ended* in the
+    preempted state (``outcome="preempted"``).
+    """
+
+    preempted_jobs: int
+    stranded: int
+    preemption_events: int
+    migration_events: int
+    wasted_time: float
+    wasted_ops: int
+
+    @classmethod
+    def from_results(cls, results: Iterable) -> "PreemptionStats":
+        preempted_jobs = 0
+        stranded = 0
+        preemption_events = 0
+        migration_events = 0
+        wasted_time = 0.0
+        wasted_ops = 0
+        for result in results:
+            events = getattr(result, "num_preemptions", 0)
+            preemption_events += events
+            migration_events += getattr(result, "num_migrations", 0)
+            wasted_time += getattr(result, "wasted_time", 0.0)
+            wasted_ops += getattr(result, "wasted_ops", 0)
+            if events > 0:
+                preempted_jobs += 1
+            if result.outcome == JobOutcome.PREEMPTED:
+                stranded += 1
+        return cls(
+            preempted_jobs=preempted_jobs,
+            stranded=stranded,
+            preemption_events=preemption_events,
+            migration_events=migration_events,
+            wasted_time=float(wasted_time),
+            wasted_ops=wasted_ops,
+        )
+
+
 @dataclass(frozen=True)
 class StreamSummary:
     """One-stop health summary of a streaming (incoming-job) run."""
@@ -202,6 +297,7 @@ class StreamSummary:
     queueing: QueueingDelayStats
     completion: CompletionStats
     max_queue_depth: int
+    preemption: PreemptionStats
 
     @classmethod
     def from_results(cls, results: Sequence) -> "StreamSummary":
@@ -216,4 +312,5 @@ class StreamSummary:
             queueing=QueueingDelayStats.from_results(results),
             completion=CompletionStats.from_times(jct),
             max_queue_depth=max_queue_depth(results),
+            preemption=PreemptionStats.from_results(results),
         )

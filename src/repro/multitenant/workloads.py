@@ -23,6 +23,7 @@ import numpy as np
 
 from ..circuits import QuantumCircuit
 from ..circuits.library import get_circuit
+from ..sim import DEFAULT_LATENCY, local_execution_time
 from .arrivals import trace_arrivals
 
 #: Circuit names of every workload mix used in Figs. 14-17.
@@ -121,6 +122,69 @@ class ClusterTrace:
     def num_tenants(self) -> int:
         """Number of distinct tenants that actually appear in the trace."""
         return len(set(self.tenant_ids))
+
+
+def generate_anchor_burst_trace(
+    cycles: int,
+    fillers_per_cycle: int,
+    anchor: str = "ghz_n51",
+    filler: str = "ghz_n9",
+    num_qpus: int = 6,
+    burst_fraction: float = 0.8,
+    period_factor: float = 2.0,
+) -> ClusterTrace:
+    """Anchor-and-burst overload cycles: the preemption stress workload.
+
+    Every cycle, one large *anchor* circuit arrives first and — on a cloud
+    of ``num_qpus`` QPUs it nearly fills — pins most of the computing
+    qubits for a long stretch, while ``fillers_per_cycle`` small *filler*
+    circuits arrive spread over the first ``burst_fraction`` of the
+    anchor's local span.  While the anchor runs, the leftover capacity is
+    fragmented dust, so the fillers queue behind it; with a queueing
+    deadline shorter than the anchor's span they expire unless a
+    preemption policy rescues them (the deadline-rescue scenario of
+    ``benchmarks/test_stream_preemption.py`` and
+    ``examples/stream_preemption.py``).
+
+    The cycle period is ``period_factor`` anchor spans plus a filler-drain
+    allowance, which leaves room for a rescued anchor to resume and finish
+    before the next anchor arrives.  Tenant 0 submits the anchors; filler
+    ``i`` of each burst belongs to tenant ``1 + i``.  The trace is fully
+    deterministic (no RNG).
+    """
+    if cycles < 0:
+        raise ValueError("cycles cannot be negative")
+    if fillers_per_cycle < 0:
+        raise ValueError("fillers_per_cycle cannot be negative")
+    if num_qpus <= 0:
+        raise ValueError("num_qpus must be positive")
+    if not 0.0 < burst_fraction <= 1.0:
+        raise ValueError("burst_fraction must lie in (0, 1]")
+    if period_factor < 1.0:
+        raise ValueError("period_factor must be at least 1")
+    anchor_circuit = _cached_circuit(anchor)
+    filler_circuit = _cached_circuit(filler)
+    anchor_span = local_execution_time(anchor_circuit, DEFAULT_LATENCY)
+    burst_end = burst_fraction * anchor_span
+    drain = num_qpus * local_execution_time(filler_circuit, DEFAULT_LATENCY) * (
+        fillers_per_cycle / num_qpus + 2
+    )
+    circuits: List[QuantumCircuit] = []
+    arrivals: List[float] = []
+    tenants: List[int] = []
+    t = 0.0
+    for _ in range(cycles):
+        circuits.append(anchor_circuit)
+        arrivals.append(t)
+        tenants.append(0)
+        for index in range(fillers_per_cycle):
+            circuits.append(filler_circuit)
+            arrivals.append(t + 1.0 + burst_end * index / fillers_per_cycle)
+            tenants.append(1 + index)
+        t += period_factor * anchor_span + drain
+    return ClusterTrace(
+        circuits=circuits, arrival_times=arrivals, tenant_ids=tenants
+    )
 
 
 def generate_cluster_trace(

@@ -193,10 +193,16 @@ class EventLoop:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the queue drains, ``until`` is reached, or the cap hits.
 
-        Returns the final simulation time.
+        Returns the final simulation time.  ``until`` may not lie in the past
+        (that would rewind the clock); an ``until`` with an already-empty queue
+        leaves the clock untouched.
         """
         if self._running:
             raise SimulationError("event loop is already running")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until {until}, current time is {self._now}"
+            )
         self._running = True
         try:
             executed = 0

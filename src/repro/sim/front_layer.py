@@ -13,6 +13,7 @@ event-driven flow is documented in ``docs/architecture.md``.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Set
 
 from ..scheduling import AllocationRequest, RemoteDAG
@@ -42,6 +43,48 @@ class FrontLayer:
     def ready_nodes(self) -> List[int]:
         """Front-layer node ids in deterministic (ascending) order."""
         return sorted(self.ready)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Progress counters of this front layer (for preemption bookkeeping).
+
+        The returned ``completed`` count is what a resumed job feeds back into
+        :meth:`fast_forward` so already-succeeded EPR rounds are not redone.
+        """
+        return {
+            "completed": self.completed,
+            "total": self.dag.num_operations,
+            "ready": len(self.ready),
+        }
+
+    def fast_forward(self, num_ops: int, finish_time: float) -> int:
+        """Instantly finish up to ``num_ops`` operations in deterministic order.
+
+        Used when a preempted job resumes: the EPR successes it already
+        banked are credited without consuming rounds (or RNG).  Operations
+        are retired in ascending node-id order, respecting DAG dependencies,
+        so the credit is well defined even when the job resumes under a
+        different placement whose remote DAG differs from the original.
+        Returns the number of operations actually credited.
+
+        A heap over the ready set keeps this O(ops log front) -- repeated
+        ``min(self.ready)`` would reintroduce the quadratic front-
+        maintenance cost this module exists to avoid -- while crediting in
+        exactly the ascending-node-id order the docstring promises.
+        """
+        credited = 0
+        heap = list(self.ready)
+        heapq.heapify(heap)
+        while credited < num_ops and heap:
+            node_id = heapq.heappop(heap)
+            self.finish(node_id, finish_time)
+            for successor in self.dag.operation(node_id).successors:
+                # finish() just unlocked these: they were not ready before
+                # (this node was an unfinished predecessor), so each enters
+                # the heap exactly once.
+                if self.pending_predecessors[successor] == 0:
+                    heapq.heappush(heap, successor)
+            credited += 1
+        return credited
 
     def finish(self, node_id: int, finish_time: float) -> None:
         """Mark a ready operation finished, unlocking its successors."""

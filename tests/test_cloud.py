@@ -103,3 +103,42 @@ class TestGraphViews:
     def test_snapshot_has_all_qpus(self, small_cloud):
         snapshot = small_cloud.snapshot()
         assert set(snapshot) == {0, 1, 2, 3}
+
+
+class TestPreviewWithout:
+    def test_qubits_free_inside_and_restored_after(self, small_cloud):
+        small_cloud.admit("job-a", {0: 0, 1: 0, 2: 1})
+        before = small_cloud.available_computing()
+        with small_cloud.preview_without("job-a"):
+            assert small_cloud.qpu(0).computing_available == 4
+            assert small_cloud.qpu(1).computing_available == 4
+        assert small_cloud.available_computing() == before
+        assert small_cloud.qpu(0).computing_held_by("job-a") == 2
+        assert small_cloud.qpu(1).computing_held_by("job-a") == 1
+
+    def test_resource_version_and_caches_untouched(self, small_cloud):
+        # Regression: an uncommitted migration exploration must not move
+        # the resource version -- it keys every failure signature and
+        # placement cache, and equal versions must imply equal maps.
+        small_cloud.admit("job-a", {0: 0, 1: 1})
+        version = small_cloud.resource_version
+        graph = small_cloud.resource_graph()
+        with small_cloud.preview_without("job-a"):
+            assert small_cloud.resource_version != version  # real inside
+        assert small_cloud.resource_version == version
+        assert small_cloud.resource_graph() is graph
+
+    def test_restores_on_exception(self, small_cloud):
+        small_cloud.admit("job-a", {0: 0, 1: 1})
+        version = small_cloud.resource_version
+        with pytest.raises(RuntimeError, match="boom"):
+            with small_cloud.preview_without("job-a"):
+                raise RuntimeError("boom")
+        assert small_cloud.resource_version == version
+        assert small_cloud.qpu(0).computing_held_by("job-a") == 1
+
+    def test_preview_of_unknown_job_is_a_no_op(self, small_cloud):
+        version = small_cloud.resource_version
+        with small_cloud.preview_without("ghost"):
+            assert small_cloud.resource_version == version
+        assert small_cloud.resource_version == version

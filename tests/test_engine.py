@@ -74,6 +74,44 @@ class TestControl:
         assert loop.now == 5.0
         assert loop.pending() == 1
 
+    def test_run_until_in_the_past_rejected(self):
+        # Regression: run(until=t) with t < now used to silently rewind the
+        # simulation clock to t; it must raise and leave the clock alone.
+        loop = EventLoop()
+        loop.schedule(5.0, lambda env: None)
+        loop.run()
+        assert loop.now == 5.0
+        loop.schedule(5.0, lambda env: None)  # pending event at t=10
+        with pytest.raises(SimulationError):
+            loop.run(until=1.0)
+        assert loop.now == 5.0
+        assert loop.pending() == 1
+
+    def test_run_until_in_the_past_rejected_with_empty_queue(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda env: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.run(until=1.0)
+        assert loop.now == 5.0
+
+    def test_run_until_with_empty_queue_leaves_clock_untouched(self):
+        # A future `until` with nothing queued must not advance the clock:
+        # no event ran, so no simulation time passed.
+        loop = EventLoop()
+        assert loop.run(until=100.0) == 0.0
+        assert loop.now == 0.0
+        loop.schedule(2.0, lambda env: None)
+        loop.run()
+        assert loop.run(until=100.0) == 2.0
+        assert loop.now == 2.0
+
+    def test_run_until_now_is_allowed(self):
+        loop = EventLoop()
+        loop.schedule(3.0, lambda env: None)
+        loop.run()
+        assert loop.run(until=loop.now) == 3.0
+
     def test_cancelled_events_do_not_run(self):
         loop = EventLoop()
         seen = []

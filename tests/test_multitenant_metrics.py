@@ -1,15 +1,20 @@
 """Tests for the multi-tenant completion-time metrics."""
 
+import math
+
+import numpy as np
 import pytest
 
 from repro.multitenant import (
     CompletionStats,
     JobOutcome,
+    PreemptionStats,
     QueueingDelayStats,
     StreamSummary,
     TenantJobResult,
     cdf_at_percentile,
     completion_cdf,
+    drop_aware_jct_percentile,
     fraction_completed_by,
     makespan,
     max_queue_depth,
@@ -18,6 +23,8 @@ from repro.multitenant import (
     queueing_delays,
     rejection_rate,
     relative_to_baseline,
+    total_preemptions,
+    total_wasted_time,
 )
 
 
@@ -33,6 +40,17 @@ class TestCompletionStats:
         stats = CompletionStats.from_times([])
         assert stats.count == 0
         assert stats.mean == 0.0
+
+    def test_numpy_array_input(self):
+        # Regression: truthiness on a 2+-element numpy array raises the
+        # ambiguous-truth-value ValueError; emptiness must use len().
+        stats = CompletionStats.from_times(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+
+    def test_empty_numpy_array_input(self):
+        stats = CompletionStats.from_times(np.array([]))
+        assert stats.count == 0
 
 
 class TestCdf:
@@ -57,6 +75,17 @@ class TestCdf:
     def test_makespan(self):
         assert makespan([5.0, 9.0, 2.0]) == 9.0
         assert makespan([]) == 0.0
+
+    def test_numpy_array_inputs(self):
+        # Regression: every Sequence[float] metric must accept numpy arrays.
+        times = np.array([3.0, 1.0, 2.0])
+        assert completion_cdf(times)[-1] == (3.0, 1.0)
+        assert fraction_completed_by(times, 2.5) == pytest.approx(2 / 3)
+        assert cdf_at_percentile(times, 50) == pytest.approx(2.0)
+        assert makespan(times) == 3.0
+        assert completion_cdf(np.array([])) == []
+        assert fraction_completed_by(np.array([]), 1.0) == 0.0
+        assert makespan(np.array([])) == 0.0
 
 
 class TestRelative:
@@ -107,7 +136,12 @@ class TestStreamMetrics:
             result("job-3", arrival=3.0, placement=4.0, completion=9.0),
         ]
         counts = outcome_counts(results)
-        assert counts == {"completed": 2, "rejected": 1, "expired": 1}
+        assert counts == {
+            "completed": 2,
+            "rejected": 1,
+            "expired": 1,
+            "preempted": 0,
+        }
         assert rejection_rate(results) == pytest.approx(0.5)
 
     def test_rejection_rate_empty(self):
@@ -177,3 +211,91 @@ class TestStreamMetrics:
         assert summary.completion.count == 1
         assert summary.completion.mean == pytest.approx(10.0)
         assert summary.max_queue_depth == 2
+
+
+def preempted_result(job_id, preemptions=1, migrations=0, wasted=0.0,
+                     outcome=JobOutcome.COMPLETED, completion=20.0):
+    base = result(job_id, arrival=0.0, placement=2.0, completion=completion,
+                  outcome=outcome, dropped=None if outcome == JobOutcome.COMPLETED else 15.0)
+    return TenantJobResult(
+        job_id=base.job_id,
+        circuit_name=base.circuit_name,
+        arrival_time=base.arrival_time,
+        placement_time=base.placement_time,
+        completion_time=base.completion_time,
+        num_remote_operations=base.num_remote_operations,
+        num_qpus_used=base.num_qpus_used,
+        outcome=base.outcome,
+        dropped_time=base.dropped_time,
+        num_preemptions=preemptions,
+        num_migrations=migrations,
+        wasted_time=wasted,
+    )
+
+
+class TestPreemptionMetrics:
+    def test_totals(self):
+        results = [
+            preempted_result("job-0", preemptions=2, wasted=7.5),
+            preempted_result("job-1", preemptions=0, migrations=1),
+            result("job-2"),
+        ]
+        assert total_preemptions(results) == 2
+        assert total_wasted_time(results) == pytest.approx(7.5)
+
+    def test_preemption_stats(self):
+        results = [
+            preempted_result("job-0", preemptions=2, wasted=7.5),
+            preempted_result("job-1", preemptions=1, migrations=2, wasted=1.5,
+                             outcome=JobOutcome.PREEMPTED),
+            result("job-2"),
+        ]
+        stats = PreemptionStats.from_results(results)
+        assert stats.preempted_jobs == 2
+        assert stats.stranded == 1
+        assert stats.preemption_events == 3
+        assert stats.migration_events == 2
+        assert stats.wasted_time == pytest.approx(9.0)
+
+    def test_stream_summary_carries_preemption_stats(self):
+        results = [preempted_result("job-0", preemptions=1, wasted=3.0)]
+        summary = StreamSummary.from_results(results)
+        assert summary.preemption.preemption_events == 1
+        assert summary.preemption.wasted_time == pytest.approx(3.0)
+
+    def test_queue_depth_uses_first_placement_for_stranded_jobs(self):
+        # A stranded-preempted job ran from its first placement: it left the
+        # arrival queue then, not at its (much later) final eviction.
+        ran_then_stranded = TenantJobResult(
+            job_id="job-0",
+            circuit_name="ghz_n4",
+            arrival_time=0.0,
+            placement_time=2.0,
+            completion_time=float("nan"),
+            num_remote_operations=0,
+            num_qpus_used=0,
+            outcome=JobOutcome.PREEMPTED,
+            dropped_time=50.0,
+            num_preemptions=1,
+        )
+        assert queue_depth_timeseries([ran_then_stranded]) == [
+            (0.0, 1),
+            (2.0, 0),
+        ]
+
+    def test_drop_aware_percentile(self):
+        # 10 jobs, one dropped: p99 must be unbounded, p50 finite.
+        results = [
+            result(f"job-{i}", arrival=0.0, placement=0.0, completion=float(i + 1))
+            for i in range(9)
+        ] + [result("job-9", outcome=JobOutcome.EXPIRED, arrival=0.0, dropped=4.0)]
+        assert drop_aware_jct_percentile(results, 99) == math.inf
+        assert drop_aware_jct_percentile(results, 50) == pytest.approx(5.0)
+        assert drop_aware_jct_percentile([], 99) == 0.0
+
+    def test_drop_aware_percentile_all_completed(self):
+        results = [
+            result(f"job-{i}", arrival=0.0, placement=0.0, completion=float(i + 1))
+            for i in range(100)
+        ]
+        assert drop_aware_jct_percentile(results, 99) == pytest.approx(99.0)

@@ -159,3 +159,39 @@ class TestClusterTrace:
             generate_cluster_trace(10, tenant_skew=-1.0)
         with pytest.raises(ValueError):
             generate_cluster_trace(10, names=[])
+
+
+class TestAnchorBurstTrace:
+    def test_shape_and_ordering(self):
+        from repro.multitenant import generate_anchor_burst_trace
+
+        trace = generate_anchor_burst_trace(3, 4)
+        assert len(trace) == 3 * (1 + 4)
+        assert trace.arrival_times == sorted(trace.arrival_times)
+        # Each cycle leads with the anchor (tenant 0), then the fillers.
+        assert trace.tenant_ids[:5] == [0, 1, 2, 3, 4]
+        names = [c.name for c in trace.circuits[:5]]
+        assert names == ["ghz_n51", "ghz_n9", "ghz_n9", "ghz_n9", "ghz_n9"]
+
+    def test_deterministic_without_rng(self):
+        from repro.multitenant import generate_anchor_burst_trace
+
+        a = generate_anchor_burst_trace(2, 3)
+        b = generate_anchor_burst_trace(2, 3)
+        assert a.arrival_times == b.arrival_times
+        assert [c.name for c in a.circuits] == [c.name for c in b.circuits]
+
+    def test_empty_and_validation(self):
+        from repro.multitenant import generate_anchor_burst_trace
+
+        assert len(generate_anchor_burst_trace(0, 5)) == 0
+        with pytest.raises(ValueError):
+            generate_anchor_burst_trace(-1, 5)
+        with pytest.raises(ValueError):
+            generate_anchor_burst_trace(1, -1)
+        with pytest.raises(ValueError):
+            generate_anchor_burst_trace(1, 1, num_qpus=0)
+        with pytest.raises(ValueError):
+            generate_anchor_burst_trace(1, 1, burst_fraction=0.0)
+        with pytest.raises(ValueError):
+            generate_anchor_burst_trace(1, 1, period_factor=0.5)
