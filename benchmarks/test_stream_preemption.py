@@ -43,9 +43,11 @@ from repro.multitenant import (
     PreemptionPolicy,
     QueueingDeadline,
     StreamSummary,
+    Telemetry,
     drop_aware_jct_percentile,
     fifo_batch_manager,
     generate_anchor_burst_trace,
+    max_queue_depth,
 )
 from repro.placement import CloudQCPlacement
 from repro.scheduling import CloudQCScheduler
@@ -72,7 +74,14 @@ def make_cloud() -> QuantumCloud:
     )
 
 
-def run_replay(policy, cycles: int, fillers_per_cycle: int, work_loss="resume"):
+def run_replay(
+    policy,
+    cycles: int,
+    fillers_per_cycle: int,
+    work_loss="resume",
+    telemetry=None,
+    keep_results=True,
+):
     """One full trace replay under the given preemption policy."""
     # Align job ids across legs (scheduler tiebreaks read the id strings).
     import itertools
@@ -92,7 +101,12 @@ def run_replay(policy, cycles: int, fillers_per_cycle: int, work_loss="resume"):
     )
     start = time.perf_counter()
     results = simulator.run_stream(
-        trace.circuits, trace.arrival_times, seed=SIM_SEED
+        trace.circuits,
+        trace.arrival_times,
+        seed=SIM_SEED,
+        telemetry=telemetry,
+        keep_results=keep_results,
+        tenants=trace.tenant_ids,
     )
     return results, time.perf_counter() - start
 
@@ -146,6 +160,43 @@ def test_deadline_rescue_cuts_expired_jobs_and_tail_jct(benchmark):
     for result in rescue_results:
         if result.completed and not math.isnan(result.placement_time):
             assert result.placement_time - result.arrival_time <= DEADLINE + 1e-9
+
+
+@pytest.mark.paper_artifact("stream-preemption")
+def test_bounded_memory_replay_matches_retained_summary():
+    """A ``keep_results=False`` rescue replay (results discarded as they
+    finish) reports the same counters as the retained run, and the online
+    queue-depth series sees the requeued victims the result reconstruction
+    misses."""
+    cycles = 40  # preemption-heavy but cheap enough for tier-1 collection
+    sink = Telemetry()
+    empty, _ = run_replay(
+        DeadlineRescue(horizon=RESCUE_HORIZON),
+        cycles,
+        FILLERS_PER_CYCLE,
+        telemetry=sink,
+        keep_results=False,
+    )
+    assert empty == []
+    retained, _ = run_replay(
+        DeadlineRescue(horizon=RESCUE_HORIZON), cycles, FILLERS_PER_CYCLE
+    )
+    exact = StreamSummary.from_results(retained)
+    sketched = StreamSummary.from_telemetry(sink)
+    assert sketched.total == exact.total == cycles * (1 + FILLERS_PER_CYCLE)
+    assert sketched.completed == exact.completed
+    assert sketched.expired == exact.expired
+    assert sketched.preemption == exact.preemption
+    assert sketched.queueing.mean == pytest.approx(exact.queueing.mean)
+    assert sketched.completion.mean == pytest.approx(exact.completion.mean)
+    # Requeued rescue victims re-enter the pending queue; the per-job
+    # results only record first queue stays, so the online max is deeper.
+    assert exact.preemption.preemption_events > 0
+    assert sink.max_queue_depth >= max_queue_depth(retained)
+    # Drop-aware percentiles agree on finiteness at both ends.
+    assert math.isfinite(sink.drop_aware_jct_percentile(50)) == math.isfinite(
+        drop_aware_jct_percentile(retained, 50)
+    )
 
 
 class _EnabledNoOp(PreemptionPolicy):

@@ -39,10 +39,12 @@ from repro.multitenant import (
     QueueDepthThreshold,
     QueueingDeadline,
     StreamSummary,
+    Telemetry,
     TokenBucket,
     fifo_batch_manager,
     generate_cluster_trace,
     max_queue_depth,
+    queue_depth_timeseries,
 )
 from repro.placement import RandomPlacement
 from repro.scheduling import CloudQCScheduler
@@ -159,6 +161,50 @@ def test_trace_replay_under_all_admission_policies(benchmark, trace):
             f"{summary.queueing.p95:.0f}/{summary.queueing.p99:.0f} "
             f"max queue={summary.max_queue_depth}"
         )
+
+
+@pytest.mark.paper_artifact("stream-scale")
+def test_telemetry_sink_matches_exact_summary_at_scale(trace):
+    """One 5000-job replay, retained results AND an attached sink: the
+    sketch-backed summary agrees with the exact one (counters exactly,
+    percentiles within the GK rank bound) and the online queue-depth series
+    matches the reconstruction (no preemption here, so both are exact)."""
+    import numpy as np
+
+    # 5000 jobs produce more netted depth changes than the default 4096-point
+    # capacity; raise it so the series comparison below is exact-vs-exact.
+    sink = Telemetry(queue_depth_capacity=16384)
+    simulator = make_simulator(QueueingDeadline(DEADLINE))
+    results = simulator.run_stream(
+        trace.circuits, trace.arrival_times, seed=SIM_SEED, telemetry=sink
+    )
+    exact = StreamSummary.from_results(results)
+    sketched = StreamSummary.from_telemetry(sink)
+
+    assert sink.queue_depth_exact
+
+    assert sketched.total == exact.total == NUM_JOBS
+    assert sketched.completed == exact.completed
+    assert sketched.expired == exact.expired
+    assert sketched.rejection_rate == pytest.approx(exact.rejection_rate)
+    assert sketched.queueing.mean == pytest.approx(exact.queueing.mean)
+    assert sketched.max_queue_depth == exact.max_queue_depth
+    assert sink.queue_depth_series() == queue_depth_timeseries(results)
+
+    # Percentile estimates stay within the documented (2 eps n + 1)/n
+    # rank-error bound of the exact distribution.
+    delays = np.sort(
+        [r.queueing_delay for r in results if not math.isnan(r.queueing_delay)]
+    )
+    n = len(delays)
+    bound = (2 * sink.queueing_delay.epsilon * n + 1) / n
+    for p, estimate in ((50, sketched.queueing.p50), (95, sketched.queueing.p95),
+                        (99, sketched.queueing.p99)):
+        lo = np.searchsorted(delays, estimate, side="left")
+        hi = np.searchsorted(delays, estimate, side="right")
+        target = p / 100 * n
+        err = 0.0 if lo <= target <= hi else min(abs(lo - target), abs(hi - target)) / n
+        assert err <= bound, f"p{p} rank error {err} > {bound}"
 
 
 @pytest.mark.paper_artifact("stream-scale")

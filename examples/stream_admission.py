@@ -17,6 +17,13 @@ trace is deliberately hot around its diurnal peaks, so ``admit-all`` shows
 the queue blowing up while the other three trade completed jobs for bounded
 delay -- the back-pressure tradeoff the policies exist for.
 
+The replay runs through the bounded-memory telemetry path (PR 6): each leg
+attaches a :class:`~repro.multitenant.Telemetry` sink with
+``keep_results=False``, so no per-job result list is ever materialized --
+the table is read straight off the sink via
+:meth:`StreamSummary.from_telemetry` (counters and means exact, percentiles
+within the GK sketch's documented rank-error bound).
+
 Run with::
 
     python examples/stream_admission.py [num_jobs] [seed]
@@ -36,6 +43,7 @@ from repro.multitenant import (
     QueueDepthThreshold,
     QueueingDeadline,
     StreamSummary,
+    Telemetry,
     TokenBucket,
     fifo_batch_manager,
     generate_cluster_trace,
@@ -93,10 +101,18 @@ def main(num_jobs: int, seed: int) -> None:
             batch_manager=fifo_batch_manager(),
             admission_policy=policy,
         )
-        results = simulator.run_stream(
-            trace.circuits, trace.arrival_times, seed=1
+        # Bounded-memory replay: the sink aggregates online, no per-job
+        # result list is retained.
+        sink = Telemetry()
+        simulator.run_stream(
+            trace.circuits,
+            trace.arrival_times,
+            seed=1,
+            telemetry=sink,
+            keep_results=False,
+            tenants=trace.tenant_ids,
         )
-        summary = StreamSummary.from_results(results)
+        summary = StreamSummary.from_telemetry(sink)
         print(
             f"{policy.name:>12} {summary.completed:>6} {summary.rejected:>6} "
             f"{summary.expired:>6} {summary.queueing.p50:>8.1f} "
@@ -105,7 +121,9 @@ def main(num_jobs: int, seed: int) -> None:
         )
     print(
         "\nqueueing-delay percentiles and mean JCT are in CX-time units; "
-        "rej = rejected at arrival, exp = expired in the queue"
+        "rej = rejected at arrival, exp = expired in the queue.\n"
+        "All rows were aggregated online by the Telemetry sink "
+        "(keep_results=False): counters exact, percentiles sketch-backed."
     )
 
 

@@ -15,6 +15,13 @@ frees its qubits, and the fillers run; the anchor resumes later, keeping its
 banked EPR successes under the default ``resume`` work-loss model (run with
 ``--work-loss restart`` to see the wasted-work cost instead).
 
+Both legs replay through the streaming :class:`~repro.multitenant.Telemetry`
+sink (PR 6) with ``keep_results=False`` -- the table, including the
+drop-aware p99 JCT, is read off the sink's online aggregates.  Pass
+``--export FILE.jsonl`` to also write the structured event stream of the
+deadline-rescue leg; ``scripts/bench_report.py --events FILE.jsonl``
+rebuilds the same report from that file without re-simulating.
+
 Run with::
 
     python examples/stream_preemption.py [cycles] [seed] [--work-loss restart]
@@ -35,7 +42,7 @@ from repro.multitenant import (
     NeverPreempt,
     QueueingDeadline,
     StreamSummary,
-    drop_aware_jct_percentile,
+    Telemetry,
     fifo_batch_manager,
     generate_anchor_burst_trace,
 )
@@ -68,7 +75,7 @@ def make_simulator(preemption_policy, work_loss):
     )
 
 
-def main(cycles: int, seed: int, work_loss: str) -> None:
+def main(cycles: int, seed: int, work_loss: str, export: str | None) -> None:
     if cycles < 1:
         raise SystemExit("cycles must be at least 1")
     trace = generate_anchor_burst_trace(
@@ -88,11 +95,20 @@ def main(cycles: int, seed: int, work_loss: str) -> None:
     print("-" * len(header))
     for policy in [NeverPreempt(), DeadlineRescue(horizon=RESCUE_HORIZON)]:
         simulator = make_simulator(policy, work_loss)
-        results = simulator.run_stream(
-            trace.circuits, trace.arrival_times, seed=seed
-        )
-        summary = StreamSummary.from_results(results)
-        p99 = drop_aware_jct_percentile(results, 99)
+        # Bounded-memory replay: aggregates come straight off the sink; the
+        # rescue leg optionally exports its structured event stream.
+        rescue_leg = policy.name == DeadlineRescue.name
+        with Telemetry(events=export if rescue_leg else None) as sink:
+            simulator.run_stream(
+                trace.circuits,
+                trace.arrival_times,
+                seed=seed,
+                telemetry=sink,
+                keep_results=False,
+                tenants=trace.tenant_ids,
+            )
+        summary = StreamSummary.from_telemetry(sink)
+        p99 = sink.drop_aware_jct_percentile(99)
         print(
             f"{policy.name:>16} {summary.completed:>6} {summary.expired:>6} "
             f"{summary.preemption.stranded:>6} "
@@ -103,8 +119,14 @@ def main(cycles: int, seed: int, work_loss: str) -> None:
     print(
         "\n*drop-aware p99 JCT: expired jobs never complete, so their JCT "
         "counts as inf;\n exp = expired in the queue, strand = ended the run "
-        "evicted, wasted = redone work (CX-time units)"
+        "evicted, wasted = redone work (CX-time units).\n Rows aggregated "
+        "online by the Telemetry sink (keep_results=False)."
     )
+    if export:
+        print(
+            f"\nwrote {export}; regenerate this report offline with:\n"
+            f"  PYTHONPATH=src python scripts/bench_report.py --events {export}"
+        )
 
 
 if __name__ == "__main__":
@@ -116,5 +138,7 @@ if __name__ == "__main__":
     parser.add_argument("--work-loss", choices=WORK_LOSS_MODELS,
                         default="resume",
                         help="what a resumed job keeps (default: resume)")
+    parser.add_argument("--export", metavar="FILE.jsonl", default=None,
+                        help="write the rescue leg's telemetry event stream")
     cli_args = parser.parse_args()
-    main(cli_args.cycles, cli_args.seed, cli_args.work_loss)
+    main(cli_args.cycles, cli_args.seed, cli_args.work_loss, cli_args.export)

@@ -20,14 +20,31 @@ anchor/burst trace of ``benchmarks/test_stream_preemption.py``:
   measured delta bounds the overhead by timing noise) and when enabled but
   inert (a no-op policy that builds the decision view every tick).
 
+``--bench 6`` measures the bounded-memory telemetry subsystem (PR 6) by
+driving ``benchmarks/test_stream_telemetry.py``: a 100k-job cluster-trace
+replay with ``keep_results=False`` and a :class:`Telemetry` sink, recording
+peak/end tracemalloc against the pinned budget and checking the sketch
+p50/p95/p99 against exact percentiles from a retained replay of the same
+trace.  The exit code enforces both the memory budget and the GK rank-error
+tolerance.
+
+``--events FILE.jsonl`` regenerates a stream report offline from an
+exported telemetry event stream -- no simulation at all; the sink is rebuilt
+with :meth:`Telemetry.from_events` and printed/written as a summary report.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_report.py                  # BENCH_4, CI scale
     PYTHONPATH=src python scripts/bench_report.py --bench 5        # BENCH_5, CI scale
     PYTHONPATH=src python scripts/bench_report.py --bench 5 --full # 5015-job replay
+    PYTHONPATH=src python scripts/bench_report.py --bench 6        # BENCH_6, 100k jobs
+    PYTHONPATH=src python scripts/bench_report.py --bench 6 --jobs 5000
+    PYTHONPATH=src python scripts/bench_report.py --events run.jsonl
 
 The default scale is the CI perf-smoke trace (a handful of anchor/burst
 cycles); ``--full`` restores the acceptance-scale multi-thousand-job replay.
+``--bench 6`` defaults to its acceptance scale (100k jobs) since the memory
+bound is the artifact's whole point; ``--jobs`` reduces it.
 """
 
 from __future__ import annotations
@@ -68,6 +85,10 @@ def _load_hotpath_module():
 
 def _load_preemption_module():
     return _load_benchmark_module("test_stream_preemption.py", "stream_preemption")
+
+
+def _load_telemetry_module():
+    return _load_benchmark_module("test_stream_telemetry.py", "stream_telemetry")
 
 
 def measure_attempt_cost(hotpath, rounds: int) -> dict:
@@ -256,15 +277,101 @@ def run_bench5(args) -> tuple[dict, bool]:
     return report, ok
 
 
+def run_bench6(args) -> tuple[dict, bool]:
+    module = _load_telemetry_module()
+    num_jobs = args.jobs or module.NUM_JOBS
+    report = module.build_report(num_jobs=num_jobs)
+    report = {
+        "benchmark": "stream-telemetry",
+        "python": platform.python_version(),
+        **report,
+    }
+    bounded, retained = report["bounded_leg"], report["retained_leg"]
+    print(
+        f"bounded  ({num_jobs} jobs, keep_results=False): "
+        f"{bounded['seconds']:.1f}s peak={bounded['peak_tracemalloc_mb']:.1f}MB "
+        f"end={bounded['end_tracemalloc_mb']:.2f}MB "
+        f"(budget {report['memory_budget_mb']:.0f}MB: "
+        f"{'ok' if bounded['within_budget'] else 'EXCEEDED'})"
+    )
+    print(
+        f"retained (keep_results=True):  {retained['seconds']:.1f}s "
+        f"peak={retained['peak_tracemalloc_mb']:.1f}MB "
+        f"end={retained['end_tracemalloc_mb']:.2f}MB "
+        f"({report['retained_end_over_bounded_end']:.1f}x the bounded end-state)"
+    )
+    for key in ("queueing_delay", "jct"):
+        leg = report[key]
+        errors = " ".join(
+            f"{p}={leg['rank_errors'][p]:.5f}" for p in ("p50", "p95", "p99")
+        )
+        print(
+            f"{key}: rank errors {errors} "
+            f"(bound {leg['rank_error_bound']:.5f}, "
+            f"{'ok' if leg['within_bound'] else 'EXCEEDED'}; "
+            f"{leg['sketch_tuples']} sketch tuples)"
+        )
+    if not report["ok"]:
+        print("ERROR: memory budget or sketch tolerance violated")
+    return report, report["ok"]
+
+
+def run_events_report(args) -> tuple[dict, bool]:
+    """Rebuild a summary offline from an exported jsonl event stream."""
+    from dataclasses import asdict
+
+    from repro.multitenant import Telemetry
+
+    sink = Telemetry.from_events(args.events)
+    summary = sink.summary()
+    report = {
+        "benchmark": "events-replay",
+        "source": args.events,
+        "summary": asdict(summary),
+        "outcome_counts": sink.outcome_counts,
+        "max_queue_depth": sink.max_queue_depth,
+        "queue_depth_exact": sink.queue_depth_exact,
+        "preemption_events": sink.preemption_events,
+        "migration_events": sink.migration_events,
+        "tenants": len(sink.tenant_counts),
+    }
+    print(
+        f"{args.events}: total={summary.total} completed={summary.completed} "
+        f"rejected={summary.rejected} expired={summary.expired} "
+        f"rejection_rate={summary.rejection_rate:.3f}"
+    )
+    print(
+        f"queueing delay p50/p95/p99={summary.queueing.p50:.1f}/"
+        f"{summary.queueing.p95:.1f}/{summary.queueing.p99:.1f} "
+        f"max queue={summary.max_queue_depth}"
+    )
+    print(
+        f"JCT mean={summary.completion.mean:.1f} "
+        f"median={summary.completion.median:.1f} "
+        f"p99={summary.completion.p99:.1f}"
+    )
+    return report, True
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--bench", type=int, choices=(4, 5), default=4,
-        help="which BENCH_<n>.json to produce (4=placement, 5=preemption)",
+        "--bench", type=int, choices=(4, 5, 6), default=4,
+        help="which BENCH_<n>.json to produce "
+        "(4=placement, 5=preemption, 6=telemetry)",
     )
     parser.add_argument("--cycles", type=int, default=None, help="anchor/burst cycles")
     parser.add_argument("--fillers", type=int, default=None, help="fillers per cycle")
     parser.add_argument("--rounds", type=int, default=25, help="attempt-cost rounds")
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="bench 6 trace length (default: the 100k acceptance scale)",
+    )
+    parser.add_argument(
+        "--events", default=None, metavar="FILE.jsonl",
+        help="rebuild a stream report offline from an exported telemetry "
+        "event stream instead of running a benchmark",
+    )
     parser.add_argument(
         "--full",
         action="store_true",
@@ -274,8 +381,19 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=None, help="output JSON path")
     args = parser.parse_args(argv)
 
-    report, ok = run_bench4(args) if args.bench == 4 else run_bench5(args)
-    out = pathlib.Path(args.out or f"BENCH_{args.bench}.json")
+    if args.events is not None:
+        report, ok = run_events_report(args)
+        default_out = "EVENTS_REPORT.json"
+    elif args.bench == 4:
+        report, ok = run_bench4(args)
+        default_out = "BENCH_4.json"
+    elif args.bench == 5:
+        report, ok = run_bench5(args)
+        default_out = "BENCH_5.json"
+    else:
+        report, ok = run_bench6(args)
+        default_out = "BENCH_6.json"
+    out = pathlib.Path(args.out or default_out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
     return 0 if ok else 1

@@ -227,8 +227,17 @@ class _EventDrivenBatch:
         circuits: Sequence[QuantumCircuit],
         arrival_times: Sequence[float],
         seed: Optional[int],
+        telemetry=None,
+        keep_results: bool = True,
+        tenants: Optional[Sequence] = None,
     ) -> None:
         self.simulator = simulator
+        # Streaming telemetry (see repro.multitenant.telemetry): the sink is
+        # strictly observational -- no RNG, no control flow -- so attaching
+        # one leaves seeded runs bit-identical; telemetry=None (the default)
+        # skips every hook with a single None check.
+        self.telemetry = telemetry
+        self.keep_results = keep_results
         self.cloud = simulator.template_cloud.clone_empty()
         self.latency = simulator.latency
         self.round_tail = self.latency.two_qubit_gate + self.latency.measurement
@@ -271,8 +280,11 @@ class _EventDrivenBatch:
         self.round_end_time: Optional[float] = None
         self.tick_handle: Optional[EventHandle] = None
         self.loop = EventLoop()
-        for circuit, arrival in zip(circuits, arrival_times):
+        self.tenants: Dict[str, object] = {}
+        for index, (circuit, arrival) in enumerate(zip(circuits, arrival_times)):
             job = self.controller.submit(circuit, arrival_time=arrival)
+            if tenants is not None:
+                self.tenants[job.job_id] = tenants[index]
             self.loop.schedule_at(
                 arrival,
                 self._arrival_callback(job),
@@ -285,17 +297,27 @@ class _EventDrivenBatch:
     def _arrival_callback(self, job: Job):
         def on_arrival(loop: EventLoop) -> None:
             now = loop.now
+            if self.telemetry is not None:
+                self.telemetry.job_arrived(
+                    job.job_id,
+                    now,
+                    circuit=job.circuit.name,
+                    num_qubits=job.num_qubits,
+                    tenant=self.tenants.get(job.job_id),
+                )
             if not self.admission.admit(job, now, len(self.pending)):
                 # One drop transition for every removal path: the controller
                 # releases reservations iff the job actually holds any (a
                 # rejected job never did), so the drop cannot disturb the
                 # cloud's resource version.
                 self.controller.drop(job)
-                self.results.append(
+                self._record_result(
                     self._dropped_result(job, JobOutcome.REJECTED, now)
                 )
                 return
             self.pending.append(job)
+            if self.telemetry is not None:
+                self.telemetry.job_admitted(job.job_id, now)
             self.min_pending_qubits = min(
                 self.min_pending_qubits, job.num_qubits
             )
@@ -334,7 +356,7 @@ class _EventDrivenBatch:
                 self._recompute_min_pending()
             self.failure_signatures.pop(job.job_id, None)
             self.controller.drop(job)
-            self.results.append(
+            self._record_result(
                 self._dropped_result(job, JobOutcome.EXPIRED, loop.now)
             )
 
@@ -421,7 +443,7 @@ class _EventDrivenBatch:
         ]
         for state in finished:
             self.controller.complete(state.job, state.completion_time)
-            self.results.append(self._result(state))
+            self._record_result(self._result(state))
             del self.active[state.job.job_id]
             self.resources_changed = True
 
@@ -478,6 +500,15 @@ class _EventDrivenBatch:
             self._activate(job, placement, now)
             available -= job.num_qubits
             placed.add(job.job_id)
+            if self.telemetry is not None:
+                first = job.num_preemptions == 0 and job.num_migrations == 0
+                self.telemetry.job_placed(
+                    job.job_id,
+                    now,
+                    qpus=job.qubits_per_qpu().keys(),
+                    first=first,
+                    wait=(now - job.arrival_time) if first else None,
+                )
         if placed:
             # One rebuild instead of a per-job list.remove keeps a decision
             # point linear in the pending-queue length.
@@ -547,6 +578,8 @@ class _EventDrivenBatch:
             self.min_pending_qubits = min(
                 self.min_pending_qubits, job.num_qubits
             )
+            if self.telemetry is not None:
+                self.telemetry.job_requeued(job.job_id, self.loop.now)
         self.resources_changed = True
 
     def _cluster_view(self, now: float) -> ClusterView:
@@ -608,6 +641,8 @@ class _EventDrivenBatch:
             resume=self.resume_work,
         )
         self.controller.preempt(job, now)
+        if self.telemetry is not None:
+            self.telemetry.job_preempted(job.job_id, now, job.num_preemptions)
         del self.active[job.job_id]
         # The caller requeues the job after the placement pass; no fresh
         # expiry is ever scheduled for it (the job was admitted once), so a
@@ -653,6 +688,8 @@ class _EventDrivenBatch:
         self.controller.migrate(job, placement.mapping, now)
         self._activate(job, placement, now)
         self.migration_attempt_versions.pop(job.job_id, None)
+        if self.telemetry is not None:
+            self.telemetry.job_migrated(job.job_id, now, job.num_migrations)
         self.resources_changed = True
         return True
 
@@ -699,6 +736,28 @@ class _EventDrivenBatch:
         for state in runnable:
             requests.extend(state.front.requests(state.job.job_id))
         return requests
+
+    def _record_result(
+        self, result: TenantJobResult, time: Optional[float] = None
+    ) -> None:
+        """Sink one terminal result: retain it and/or fold it into telemetry.
+
+        With ``keep_results=False`` the per-job result object is handed to
+        the telemetry sink and then dropped, so a bounded-memory run never
+        materializes the result list; the terminal job record is also
+        released so the Job objects stay O(in-flight) instead of O(jobs).
+        """
+        if self.keep_results:
+            self.results.append(result)
+        if self.telemetry is not None:
+            self.telemetry.record_result(
+                result, tenant=self.tenants.get(result.job_id), time=time
+            )
+        if not self.keep_results:
+            self.controller.jobs.pop(result.job_id, None)
+            self.tenants.pop(result.job_id, None)
+            self.progress.pop(result.job_id, None)
+            self.migration_attempt_versions.pop(result.job_id, None)
 
     def _dropped_result(
         self, job: Job, outcome: JobOutcome, dropped_time: float
@@ -772,10 +831,13 @@ class _EventDrivenBatch:
             # outcome ("preempted"), not a simulator failure.
             for job in self.pending:
                 self.controller.drop(job)
-                self.results.append(
+                # Stranded jobs leave the pending queue when the run drains,
+                # so that is the instant the telemetry depth tracker records.
+                self._record_result(
                     self._dropped_result(
                         job, JobOutcome.PREEMPTED, job.last_preempted_time
-                    )
+                    ),
+                    time=self.loop.now,
                 )
             self.pending = []
         if self.active:  # pragma: no cover - defensive; the loop never drains
@@ -848,13 +910,33 @@ class MultiTenantSimulator:
         circuits: Sequence[QuantumCircuit],
         seed: Optional[int] = None,
         arrival_times: Optional[Sequence[float]] = None,
+        telemetry=None,
+        keep_results: bool = True,
+        tenants: Optional[Sequence] = None,
     ) -> List[TenantJobResult]:
         """Run a batch of circuits to completion and return per-job results.
 
         ``arrival_times`` defaults to 0 for every circuit (batch mode); passing
         per-circuit arrival times models the incoming-job mode, where every
         arrival event triggers a placement attempt at its exact arrival time.
+
+        ``telemetry`` attaches a streaming
+        :class:`~repro.multitenant.Telemetry` sink fed at every
+        job-lifecycle transition; the sink is purely observational, so
+        seeded results are bit-identical with or without it.  With
+        ``keep_results=False`` (requires a sink -- the data would
+        otherwise be lost) the per-job result list is never materialized:
+        the run returns ``[]`` and the sink holds the bounded-memory
+        aggregates.  ``tenants`` optionally pairs one tenant id per
+        circuit for the sink's per-tenant accounting and event stream.
         """
+        if telemetry is None and not keep_results:
+            raise ValueError(
+                "keep_results=False requires a telemetry sink; the run "
+                "would otherwise produce nothing"
+            )
+        if tenants is not None and len(tenants) != len(circuits):
+            raise ValueError("tenants must match the number of circuits")
         if not circuits:
             return []
         if arrival_times is None:
@@ -874,13 +956,24 @@ class MultiTenantSimulator:
                     f"the cloud only has {total_capacity}"
                 )
 
-        return _EventDrivenBatch(self, circuits, arrival_times, seed).execute()
+        return _EventDrivenBatch(
+            self,
+            circuits,
+            arrival_times,
+            seed,
+            telemetry=telemetry,
+            keep_results=keep_results,
+            tenants=tenants,
+        ).execute()
 
     def run_stream(
         self,
         circuits: Sequence[QuantumCircuit],
         arrival_times: Sequence[float],
         seed: Optional[int] = None,
+        telemetry=None,
+        keep_results: bool = True,
+        tenants: Optional[Sequence] = None,
     ) -> List[TenantJobResult]:
         """Incoming-job mode: circuits arriving over time (Sec. V-B).
 
@@ -898,10 +991,25 @@ class MultiTenantSimulator:
         back with ``outcome`` set to ``"rejected"`` or ``"expired"`` and NaN
         placement/completion times, so the result list always has one entry
         per submitted circuit.
+
+        For bounded-memory replays, pass a
+        :class:`~repro.multitenant.Telemetry` sink (``telemetry=``) and
+        ``keep_results=False``: the run then emits streaming summaries --
+        sketch percentiles, counters, an online queue-depth series and an
+        optional jsonl event stream -- without retaining per-job
+        ``TenantJobResult`` lists (see ``docs/architecture.md``,
+        "Telemetry & observability").
         """
         if arrival_times is None:
             raise ValueError("run_stream requires explicit arrival times")
-        return self.run_batch(circuits, seed=seed, arrival_times=list(arrival_times))
+        return self.run_batch(
+            circuits,
+            seed=seed,
+            arrival_times=list(arrival_times),
+            telemetry=telemetry,
+            keep_results=keep_results,
+            tenants=tenants,
+        )
 
     def run_batches(
         self,

@@ -125,7 +125,9 @@ def rejection_rate(results: Sequence) -> float:
     queue, and jobs stranded in the preempted state; 0.0 for an empty
     result list.
     """
-    if not results:
+    # len()-based emptiness: `not results` on a numpy array of 2+ elements
+    # raises the ambiguous-truth-value ValueError.
+    if len(results) == 0:
         return 0.0
     dropped = sum(1 for result in results if not result.completed)
     return dropped / len(results)
@@ -192,7 +194,11 @@ def queue_depth_timeseries(results: Iterable) -> List[Tuple[float, int]]:
     Limitation: per-job results carry only the *first* queue stay, so the
     requeue intervals of preempted jobs are not visible here; under an
     active preemption policy the series is exact for the arrival queue but
-    undercounts re-queued victims.
+    undercounts re-queued victims.  The online tracker in
+    :class:`~repro.multitenant.Telemetry` sees every requeue transition,
+    so its :meth:`~repro.multitenant.Telemetry.queue_depth_series` is
+    exact under preemption too (regression-pinned in
+    ``tests/test_telemetry.py``).
     """
     deltas: Dict[float, int] = {}
     for result in results:
@@ -287,7 +293,16 @@ class PreemptionStats:
 
 @dataclass(frozen=True)
 class StreamSummary:
-    """One-stop health summary of a streaming (incoming-job) run."""
+    """One-stop health summary of a streaming (incoming-job) run.
+
+    Two constructors: :meth:`from_results` computes everything exactly
+    from a materialized per-job result list (O(jobs) memory);
+    :meth:`from_telemetry` reads a streaming
+    :class:`~repro.multitenant.Telemetry` sink, where counters, means,
+    extrema and the max queue depth are exact and the p50/p90/p95/p99
+    fields are sketch estimates within the sink's documented rank-error
+    bound.
+    """
 
     total: int
     completed: int
@@ -314,3 +329,11 @@ class StreamSummary:
             max_queue_depth=max_queue_depth(results),
             preemption=PreemptionStats.from_results(results),
         )
+
+    @classmethod
+    def from_telemetry(cls, telemetry) -> "StreamSummary":
+        """Sketch-backed summary from a :class:`~repro.multitenant.Telemetry`
+        sink -- the bounded-memory path for runs that never retained their
+        per-job result lists (``run_stream(..., keep_results=False)``).
+        """
+        return telemetry.summary()

@@ -1,0 +1,712 @@
+"""Bounded-memory streaming telemetry for multi-tenant runs.
+
+The exact stream metrics in :mod:`repro.multitenant.metrics` are computed
+from fully materialized per-job result lists -- fine at the 5k-job scale of
+the committed benchmarks, fatal at the ROADMAP's million-job north star
+(the result list alone is O(jobs), and ``queue_depth_timeseries`` is
+O(events)).  This module is the streaming alternative: a :class:`Telemetry`
+sink fed *online* by the simulator loop at every job-lifecycle transition,
+holding
+
+* :class:`QuantileSketch` percentile sketches for JCT and queueing delay
+  (Greenwald-Khanna, with a deterministic worst-case rank-error bound --
+  see the class docstring for why GK over the P\\ :sup:`2` heuristic);
+* exact per-outcome / per-tenant / per-QPU counters plus exact running
+  mean/min/max accumulators;
+* a fixed-capacity queue-depth time series maintained online at every
+  admission / placement / requeue / drop transition (exact while the
+  number of depth changes fits the capacity, reservoir-sampled beyond it;
+  current and maximum depth stay exact regardless); and
+* an optional structured jsonl event stream with a documented schema, from
+  which a sink -- and therefore a full :class:`~repro.multitenant.metrics.
+  StreamSummary` -- can be rebuilt offline without re-simulating
+  (:meth:`Telemetry.from_events`; ``scripts/bench_report.py --events``).
+
+Because the online depth tracker sees *every* requeue transition, the
+telemetry-backed queue-depth series is exact under active preemption,
+where the result-reconstructed ``queue_depth_timeseries`` undercounts
+re-queued victims (it only knows each job's first queue stay).
+
+The sink is strictly observational: it consumes no simulator RNG and
+never influences control flow, so attaching one to a seeded run leaves
+the per-job results bit-identical (pinned by A/B tests).  Memory is
+O(sketch + capacity + #tenants + #QPUs), independent of the number of
+jobs and events.
+
+Event schema (one JSON object per line; field order not significant)::
+
+    event        one of job_arrived / admitted / rejected / placed /
+                 preempted / requeued / migrated / completed / expired /
+                 stranded
+    t            simulation time of the transition
+    job          job id
+
+    job_arrived  + circuit, qubits[, tenant]
+    admitted     + depth               (queue depth after the transition)
+    placed       + depth, qpus, first[, wait]
+    preempted    + n                   (the job's eviction count so far)
+    requeued     + depth
+    migrated     + n                   (the job's migration count so far)
+    rejected     (terminal; no extra fields)
+    expired      + depth, wait
+    completed    + jct, wait, qpus_used, n_preempt, n_migrate, wasted_time,
+                   wasted_ops
+    stranded     + depth, wasted_time, wasted_ops, n_preempt, n_migrate
+
+Terminal events (rejected / expired / completed / stranded) additionally
+carry ``tenant`` when the run was given tenant ids.  ``stranded`` reports
+jobs whose run *ended* in the preempted state (``outcome="preempted"``).
+See ``docs/architecture.md`` ("Telemetry & observability") for the memory
+model and the exact-vs-sketch guarantees.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import random
+from typing import Dict, IO, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .admission import JobOutcome
+
+#: Every event type the structured stream can emit, in lifecycle order.
+TELEMETRY_EVENTS: Tuple[str, ...] = (
+    "job_arrived",
+    "admitted",
+    "rejected",
+    "placed",
+    "preempted",
+    "requeued",
+    "migrated",
+    "completed",
+    "expired",
+    "stranded",
+)
+
+
+class QuantileSketch:
+    """Greenwald-Khanna streaming quantiles with a deterministic rank bound.
+
+    Maintains an epsilon-approximate summary of a value stream in
+    O((1/eps) * log(eps * n)) memory -- a few hundred tuples for a
+    million-value stream at the default ``epsilon`` -- such that
+    :meth:`quantile` returns an *observed* value whose rank is within
+    ``2 * epsilon * n + 1`` of the requested rank, for any input order.
+    (The classic invariant ``g_i + delta_i <= floor(2 eps n)`` is
+    maintained by construction, so the bound is worst-case, not
+    probabilistic.)
+
+    The P\\ :sup:`2` estimator the literature often reaches for is O(1) but
+    purely heuristic: on adversarial streams (sorted input, extreme tails)
+    its rank error is unbounded, which makes a pinned error tolerance --
+    this repo's acceptance criterion, enforced by Hypothesis property
+    tests -- impossible to guarantee.  GK trades a logarithmic factor of
+    memory for a provable bound; min, max, count and mean are tracked
+    exactly on the side.
+    """
+
+    __slots__ = (
+        "epsilon",
+        "count",
+        "_values",
+        "_g",
+        "_delta",
+        "_since_compress",
+        "_compress_every",
+        "sum",
+        "min",
+        "max",
+    )
+
+    def __init__(self, epsilon: float = 0.005) -> None:
+        if not 0.0 < epsilon < 0.5:
+            raise ValueError(f"epsilon must lie in (0, 0.5), got {epsilon}")
+        self.epsilon = float(epsilon)
+        self.count = 0
+        self._values: List[float] = []
+        self._g: List[int] = []
+        self._delta: List[int] = []
+        self._since_compress = 0
+        self._compress_every = max(1, int(1.0 / (2.0 * epsilon)))
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    @property
+    def mean(self) -> float:
+        """Exact running mean (0.0 while empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    @property
+    def size(self) -> int:
+        """Number of summary tuples currently held (the memory footprint)."""
+        return len(self._values)
+
+    def add(self, value: float) -> None:
+        """Insert one observation."""
+        v = float(value)
+        if math.isnan(v):
+            raise ValueError("cannot add NaN to a quantile sketch")
+        threshold = int(2.0 * self.epsilon * self.count)
+        index = bisect.bisect_left(self._values, v)
+        # Tuples at the extremes carry delta=0 so min/max stay exact.
+        delta = 0 if index in (0, len(self._values)) else max(0, threshold - 1)
+        self._values.insert(index, v)
+        self._g.insert(index, 1)
+        self._delta.insert(index, delta)
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        self._since_compress += 1
+        if self._since_compress >= self._compress_every:
+            self._compress()
+
+    def _compress(self) -> None:
+        self._since_compress = 0
+        threshold = int(2.0 * self.epsilon * self.count)
+        if threshold <= 1 or len(self._values) < 3:
+            return
+        values, g, delta = self._values, self._g, self._delta
+        # Merge right-to-left; the first and last tuples are never removed,
+        # so the exact min/max anchors survive every compression.
+        for i in range(len(values) - 2, 0, -1):
+            if g[i] + g[i + 1] + delta[i + 1] <= threshold:
+                g[i + 1] += g[i]
+                del values[i], g[i], delta[i]
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1] (0.0 for an empty sketch)."""
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        rank = max(1, min(self.count, math.ceil(q * self.count)))
+        # Return the tuple whose possible-rank midpoint is closest to the
+        # target: every tuple satisfies rmax - rmin <= 2 eps n, and GK
+        # guarantees some tuple's interval overlaps [rank - eps n,
+        # rank + eps n], so the winner's rank is within 2 eps n + 1.
+        best = self._values[0]
+        best_err = math.inf
+        rmin = 0
+        for i in range(len(self._values)):
+            rmin += self._g[i]
+            midpoint = rmin + self._delta[i] / 2.0
+            err = abs(midpoint - rank)
+            if err < best_err:
+                best_err = err
+                best = self._values[i]
+        return best
+
+    def percentile(self, p: float) -> float:
+        """Value at percentile ``p`` in [0, 100]."""
+        return self.quantile(p / 100.0)
+
+
+class _DepthSeries:
+    """Fixed-capacity (time, depth) step series maintained online.
+
+    Consecutive observations at the same timestamp are netted (only the
+    final depth at each instant registers, matching the semantics of
+    ``metrics.queue_depth_timeseries``) and zero-net instants are dropped.
+    While at most ``capacity`` netted points exist, the series is exact
+    and complete; beyond that, points are reservoir-sampled (Algorithm R,
+    own deterministic RNG -- the simulator's RNG is never touched).  The
+    maximum depth is tracked exactly over *all* netted points regardless
+    of sampling.
+    """
+
+    __slots__ = (
+        "capacity",
+        "seen",
+        "max_depth",
+        "_rng",
+        "_points",
+        "_pending",
+        "_last_recorded_depth",
+    )
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("queue-depth capacity must be at least 1")
+        self.capacity = capacity
+        self.seen = 0  # netted points finalized so far
+        self.max_depth = 0
+        self._rng = random.Random(seed)
+        self._points: List[Tuple[float, int]] = []
+        self._pending: Optional[Tuple[float, int]] = None
+        self._last_recorded_depth = 0
+
+    def observe(self, time: float, depth: int) -> None:
+        if self._pending is not None:
+            if self._pending[0] == time:
+                self._pending = (time, depth)
+                return
+            self._finalize()
+        self._pending = (time, depth)
+
+    def _finalize(self) -> None:
+        time, depth = self._pending  # type: ignore[misc]
+        self._pending = None
+        if depth == self._last_recorded_depth:
+            return  # the instant netted out
+        self._last_recorded_depth = depth
+        if depth > self.max_depth:
+            self.max_depth = depth
+        self.seen += 1
+        if len(self._points) < self.capacity:
+            self._points.append((time, depth))
+        else:
+            slot = self._rng.randrange(self.seen)
+            if slot < self.capacity:
+                self._points[slot] = (time, depth)
+
+    @property
+    def exact(self) -> bool:
+        """Whether the series still holds every netted depth change."""
+        pending_extra = (
+            self._pending is not None
+            and self._pending[1] != self._last_recorded_depth
+        )
+        return self.seen + (1 if pending_extra else 0) <= self.capacity
+
+    def points(self) -> List[Tuple[float, int]]:
+        series = sorted(self._points)
+        if (
+            self._pending is not None
+            and self._pending[1] != self._last_recorded_depth
+        ):
+            series.append(self._pending)
+        return series
+
+    def current_max(self) -> int:
+        best = self.max_depth
+        if self._pending is not None and self._pending[1] > best:
+            best = self._pending[1]
+        return best
+
+
+def iter_events(source: Union[str, IO[str], Iterable[str]]) -> Iterable[dict]:
+    """Yield parsed event records from a jsonl path, file object or lines."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        return
+    for line in source:
+        line = line.strip()
+        if line:
+            yield json.loads(line)
+
+
+class Telemetry:
+    """Streaming metrics sink fed by the simulator at lifecycle transitions.
+
+    Attach one via ``run_stream(..., telemetry=sink)`` (optionally with
+    ``keep_results=False`` to drop the per-job result list altogether) and
+    read the aggregate via :meth:`summary` /
+    :meth:`~repro.multitenant.metrics.StreamSummary.from_telemetry`.
+
+    Parameters
+    ----------
+    epsilon:
+        Rank-error parameter of the JCT and queueing-delay sketches; an
+        estimated percentile's rank is within ``2 * epsilon * n + 1`` of
+        exact (see :class:`QuantileSketch`).
+    queue_depth_capacity:
+        Maximum retained queue-depth points; the series is exact up to
+        this many depth changes and reservoir-sampled beyond (max depth
+        stays exact either way).
+    events:
+        ``None`` (no event stream), a path, or a writable file-like
+        object; one JSON object per line in the schema documented in the
+        module docstring.  Pass a path to let :meth:`close` own the file.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 0.005,
+        queue_depth_capacity: int = 4096,
+        events: Union[None, str, IO[str]] = None,
+    ) -> None:
+        self.jct = QuantileSketch(epsilon)
+        self.queueing_delay = QuantileSketch(epsilon)
+        self.outcome_counts: Dict[str, int] = {
+            outcome.value: 0 for outcome in JobOutcome
+        }
+        self.tenant_counts: Dict[object, Dict[str, int]] = {}
+        self.qpu_placements: Dict[int, int] = {}
+        self.arrivals = 0
+        self.admissions = 0
+        self.placements = 0
+        self.preemption_events = 0
+        self.migration_events = 0
+        self.preempted_jobs = 0
+        self.stranded = 0
+        self.wasted_time = 0.0
+        self.wasted_ops = 0
+        self.depth = 0
+        self._series = _DepthSeries(queue_depth_capacity)
+        self._stream: Optional[IO[str]] = None
+        self._owns_stream = False
+        if events is not None:
+            if hasattr(events, "write"):
+                self._stream = events  # type: ignore[assignment]
+            else:
+                self._stream = open(events, "w", encoding="utf-8")
+                self._owns_stream = True
+
+    # ------------------------------------------------------------------
+    # Event stream plumbing
+    # ------------------------------------------------------------------
+    def _emit(self, event: str, time: float, job_id: str, **fields) -> None:
+        if self._stream is None:
+            return
+        record = {"event": event, "t": time, "job": job_id}
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        self._stream.write(json.dumps(record) + "\n")
+
+    def close(self) -> None:
+        """Flush and (if this sink opened it) close the event stream."""
+        if self._stream is not None:
+            self._stream.flush()
+            if self._owns_stream:
+                self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Transition hooks (called by the simulator, in simulation order)
+    # ------------------------------------------------------------------
+    def job_arrived(
+        self,
+        job_id: str,
+        time: float,
+        circuit: Optional[str] = None,
+        num_qubits: Optional[int] = None,
+        tenant: Optional[object] = None,
+    ) -> None:
+        self.arrivals += 1
+        self._emit(
+            "job_arrived", time, job_id,
+            circuit=circuit, qubits=num_qubits, tenant=tenant,
+        )
+
+    def job_admitted(self, job_id: str, time: float) -> None:
+        self.admissions += 1
+        self.depth += 1
+        self._series.observe(time, self.depth)
+        self._emit("admitted", time, job_id, depth=self.depth)
+
+    def job_placed(
+        self,
+        job_id: str,
+        time: float,
+        qpus: Sequence[int] = (),
+        first: bool = True,
+        wait: Optional[float] = None,
+    ) -> None:
+        self.placements += 1
+        self.depth -= 1
+        self._series.observe(time, self.depth)
+        for qpu in qpus:
+            self.qpu_placements[qpu] = self.qpu_placements.get(qpu, 0) + 1
+        self._emit(
+            "placed", time, job_id,
+            depth=self.depth, qpus=sorted(qpus), first=first, wait=wait,
+        )
+
+    def job_preempted(self, job_id: str, time: float, count: int = 1) -> None:
+        self._emit("preempted", time, job_id, n=count)
+
+    def job_requeued(self, job_id: str, time: float) -> None:
+        self.depth += 1
+        self._series.observe(time, self.depth)
+        self._emit("requeued", time, job_id, depth=self.depth)
+
+    def job_migrated(self, job_id: str, time: float, count: int = 1) -> None:
+        self._emit("migrated", time, job_id, n=count)
+
+    def record_result(
+        self,
+        result,
+        tenant: Optional[object] = None,
+        time: Optional[float] = None,
+    ) -> None:
+        """Fold one terminal :class:`TenantJobResult` into the aggregates.
+
+        ``time`` overrides the transition timestamp for outcomes whose
+        result carries none that matches the queue departure (stranded
+        jobs leave the pending queue when the run drains, not at their
+        recorded eviction time).
+        """
+        outcome = JobOutcome(result.outcome)
+        jct = result.job_completion_time
+        wait = result.queueing_delay
+        self._terminal(
+            outcome=outcome,
+            job_id=result.job_id,
+            time=time,
+            dropped_time=result.dropped_time,
+            completion_time=result.completion_time,
+            jct=None if math.isnan(jct) else jct,
+            wait=None if math.isnan(wait) else wait,
+            num_qpus_used=result.num_qpus_used,
+            preemptions=result.num_preemptions,
+            migrations=result.num_migrations,
+            wasted_time=result.wasted_time,
+            wasted_ops=result.wasted_ops,
+            tenant=tenant,
+        )
+
+    def _terminal(
+        self,
+        outcome: JobOutcome,
+        job_id: str,
+        time: Optional[float],
+        dropped_time: Optional[float],
+        completion_time: Optional[float],
+        jct: Optional[float],
+        wait: Optional[float],
+        num_qpus_used: int,
+        preemptions: int,
+        migrations: int,
+        wasted_time: float,
+        wasted_ops: int,
+        tenant: Optional[object],
+    ) -> None:
+        self.outcome_counts[outcome.value] += 1
+        if tenant is not None:
+            per_tenant = self.tenant_counts.setdefault(
+                tenant, {o.value: 0 for o in JobOutcome}
+            )
+            per_tenant[outcome.value] += 1
+        self.preemption_events += preemptions
+        self.migration_events += migrations
+        self.wasted_time += wasted_time
+        self.wasted_ops += wasted_ops
+        if preemptions > 0:
+            self.preempted_jobs += 1
+        if wait is not None:
+            # Mirrors metrics.queueing_delays: completed and stranded jobs
+            # observed their wait at first placement, expired jobs at the
+            # deadline; rejected jobs never queued (wait is None).
+            self.queueing_delay.add(wait)
+        if outcome is JobOutcome.COMPLETED:
+            assert jct is not None
+            self.jct.add(jct)
+            self._emit(
+                "completed", completion_time, job_id,
+                jct=jct, wait=wait, qpus_used=num_qpus_used,
+                n_preempt=preemptions, n_migrate=migrations,
+                wasted_time=wasted_time, wasted_ops=wasted_ops,
+                tenant=tenant,
+            )
+            return
+        if outcome is JobOutcome.REJECTED:
+            self._emit("rejected", dropped_time, job_id, tenant=tenant)
+            return
+        if outcome is JobOutcome.EXPIRED:
+            self.depth -= 1
+            when = dropped_time if time is None else time
+            self._series.observe(when, self.depth)
+            self._emit(
+                "expired", when, job_id,
+                depth=self.depth, wait=wait, tenant=tenant,
+            )
+            return
+        # outcome is PREEMPTED: the job ended the run evicted and pending.
+        self.stranded += 1
+        self.depth -= 1
+        when = dropped_time if time is None else time
+        self._series.observe(when, self.depth)
+        self._emit(
+            "stranded", when, job_id,
+            depth=self.depth, wasted_time=wasted_time, wasted_ops=wasted_ops,
+            n_preempt=preemptions, n_migrate=migrations, tenant=tenant,
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregate accessors
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Jobs with a recorded terminal outcome."""
+        return sum(self.outcome_counts.values())
+
+    @property
+    def completed(self) -> int:
+        return self.outcome_counts[JobOutcome.COMPLETED.value]
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of finished jobs that did not run to completion."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return (total - self.completed) / total
+
+    @property
+    def max_queue_depth(self) -> int:
+        return self._series.current_max()
+
+    @property
+    def queue_depth_exact(self) -> bool:
+        """Whether the depth series still holds every netted change."""
+        return self._series.exact
+
+    def queue_depth_series(self) -> List[Tuple[float, int]]:
+        """The (time, depth) step series, time-sorted.
+
+        Exact and complete while the number of netted depth changes fits
+        ``queue_depth_capacity`` (check :attr:`queue_depth_exact`);
+        a uniform reservoir sample of the changes beyond that.
+        """
+        return self._series.points()
+
+    def drop_aware_jct_percentile(self, p: float) -> float:
+        """Sketch-backed analogue of :func:`metrics.drop_aware_jct_percentile`.
+
+        Dropped jobs count as an unbounded completion time, so the result
+        is ``inf`` unless more than ``(100 - p)%`` of the submitted jobs
+        completed; otherwise the rank is rescaled into the completed-JCT
+        sketch.
+        """
+        total = self.total
+        if total == 0:
+            return 0.0
+        rank = min(total, max(1, math.ceil(p / 100.0 * total)))
+        if rank > self.completed:
+            return math.inf
+        return self.jct.quantile(rank / self.completed)
+
+    def summary(self):
+        """Build the sketch-backed :class:`StreamSummary` (see
+        :meth:`StreamSummary.from_telemetry`)."""
+        from .metrics import (
+            CompletionStats,
+            PreemptionStats,
+            QueueingDelayStats,
+            StreamSummary,
+        )
+
+        delay = self.queueing_delay
+        completion = self.jct
+        return StreamSummary(
+            total=self.total,
+            completed=self.completed,
+            rejected=self.outcome_counts[JobOutcome.REJECTED.value],
+            expired=self.outcome_counts[JobOutcome.EXPIRED.value],
+            rejection_rate=self.rejection_rate,
+            queueing=QueueingDelayStats(
+                count=delay.count,
+                mean=delay.mean,
+                p50=delay.percentile(50),
+                p95=delay.percentile(95),
+                p99=delay.percentile(99),
+            ),
+            completion=CompletionStats(
+                count=completion.count,
+                mean=completion.mean,
+                median=completion.percentile(50),
+                p90=completion.percentile(90),
+                p99=completion.percentile(99),
+                maximum=completion.max if completion.count else 0.0,
+            ),
+            max_queue_depth=self.max_queue_depth,
+            preemption=PreemptionStats(
+                preempted_jobs=self.preempted_jobs,
+                stranded=self.stranded,
+                preemption_events=self.preemption_events,
+                migration_events=self.migration_events,
+                wasted_time=self.wasted_time,
+                wasted_ops=self.wasted_ops,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Offline replay
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_events(
+        cls,
+        source: Union[str, IO[str], Iterable[str]],
+        epsilon: float = 0.005,
+        queue_depth_capacity: int = 4096,
+    ) -> "Telemetry":
+        """Rebuild a sink from an exported jsonl event stream.
+
+        Replaying feeds the sketches and counters in the original
+        emission order, so the rebuilt summary is identical to the one
+        the online sink produced (sketch state depends on insertion
+        order, which the file preserves).
+        """
+        sink = cls(epsilon=epsilon, queue_depth_capacity=queue_depth_capacity)
+        for record in iter_events(source):
+            sink._apply(record)
+        return sink
+
+    def _apply(self, record: dict) -> None:
+        event = record.get("event")
+        if event not in TELEMETRY_EVENTS:
+            raise ValueError(f"unknown telemetry event {event!r}")
+        time = record.get("t")
+        job_id = record.get("job", "")
+        if event == "job_arrived":
+            self.job_arrived(
+                job_id, time,
+                circuit=record.get("circuit"),
+                num_qubits=record.get("qubits"),
+                tenant=record.get("tenant"),
+            )
+        elif event == "admitted":
+            self.job_admitted(job_id, time)
+        elif event == "placed":
+            self.job_placed(
+                job_id, time,
+                qpus=record.get("qpus", ()),
+                first=record.get("first", True),
+                wait=record.get("wait"),
+            )
+        elif event == "preempted":
+            self.job_preempted(job_id, time, count=record.get("n", 1))
+        elif event == "requeued":
+            self.job_requeued(job_id, time)
+        elif event == "migrated":
+            self.job_migrated(job_id, time, count=record.get("n", 1))
+        else:
+            outcome = {
+                "completed": JobOutcome.COMPLETED,
+                "rejected": JobOutcome.REJECTED,
+                "expired": JobOutcome.EXPIRED,
+                "stranded": JobOutcome.PREEMPTED,
+            }[event]
+            self._terminal(
+                outcome=outcome,
+                job_id=job_id,
+                time=time,
+                dropped_time=time,
+                completion_time=time,
+                jct=record.get("jct"),
+                wait=record.get("wait"),
+                num_qpus_used=record.get("qpus_used", 0),
+                preemptions=record.get("n_preempt", 0),
+                migrations=record.get("n_migrate", 0),
+                wasted_time=record.get("wasted_time", 0.0),
+                wasted_ops=record.get("wasted_ops", 0),
+                tenant=record.get("tenant"),
+            )

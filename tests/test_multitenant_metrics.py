@@ -147,6 +147,19 @@ class TestStreamMetrics:
     def test_rejection_rate_empty(self):
         assert rejection_rate([]) == 0.0
 
+    def test_rejection_rate_numpy_array_input(self):
+        # Regression: `if not results:` on a numpy object array of 2+
+        # elements raised the ambiguous-truth-value ValueError.
+        results = np.array(
+            [
+                result("job-0"),
+                result("job-1", outcome=JobOutcome.REJECTED, dropped=1.0),
+            ],
+            dtype=object,
+        )
+        assert rejection_rate(results) == pytest.approx(0.5)
+        assert rejection_rate(np.array([], dtype=object)) == 0.0
+
     def test_queueing_delays_exclude_rejected(self):
         results = [
             result("job-0", arrival=0.0, placement=5.0),
