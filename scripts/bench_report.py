@@ -28,6 +28,15 @@ p50/p95/p99 against exact percentiles from a retained replay of the same
 trace.  The exit code enforces both the memory budget and the GK rank-error
 tolerance.
 
+``--bench 7`` measures the lazy trace-replay path (PR 7) by driving
+``benchmarks/test_stream_trace.py``: the BENCH_6 cluster trace is written
+to disk as a ``repro-trace`` jsonl file and replayed through
+``run_stream(trace=...)`` with ``keep_results=False`` at a 100k-job
+baseline scale and at the full million-job scale.  The exit code enforces
+the peak-memory budget, the job-count-independence ratio between the two
+lazy legs, and bit-identical telemetry summaries between the lazy and
+upfront submission paths at the baseline scale.
+
 ``--events FILE.jsonl`` regenerates a stream report offline from an
 exported telemetry event stream -- no simulation at all; the sink is rebuilt
 with :meth:`Telemetry.from_events` and printed/written as a summary report.
@@ -39,6 +48,8 @@ Usage::
     PYTHONPATH=src python scripts/bench_report.py --bench 5 --full # 5015-job replay
     PYTHONPATH=src python scripts/bench_report.py --bench 6        # BENCH_6, 100k jobs
     PYTHONPATH=src python scripts/bench_report.py --bench 6 --jobs 5000
+    PYTHONPATH=src python scripts/bench_report.py --bench 7        # BENCH_7, 1M jobs
+    PYTHONPATH=src python scripts/bench_report.py --bench 7 --jobs 60000 --baseline-jobs 20000
     PYTHONPATH=src python scripts/bench_report.py --events run.jsonl
 
 The default scale is the CI perf-smoke trace (a handful of anchor/burst
@@ -89,6 +100,10 @@ def _load_preemption_module():
 
 def _load_telemetry_module():
     return _load_benchmark_module("test_stream_telemetry.py", "stream_telemetry")
+
+
+def _load_trace_module():
+    return _load_benchmark_module("test_stream_trace.py", "stream_trace")
 
 
 def measure_attempt_cost(hotpath, rounds: int) -> dict:
@@ -316,6 +331,52 @@ def run_bench6(args) -> tuple[dict, bool]:
     return report, report["ok"]
 
 
+def run_bench7(args) -> tuple[dict, bool]:
+    module = _load_trace_module()
+    num_jobs = args.jobs or module.NUM_JOBS
+    baseline_jobs = args.baseline_jobs or module.BASELINE_JOBS
+    report = module.build_report(num_jobs=num_jobs, baseline_jobs=baseline_jobs)
+    report = {
+        "benchmark": "stream-trace",
+        "python": platform.python_version(),
+        **report,
+    }
+    lazy_base, lazy_full = report["lazy_baseline"], report["lazy_full"]
+    upfront = report["upfront_baseline"]
+    print(
+        f"lazy    ({lazy_full['jobs']} jobs from disk): "
+        f"{lazy_full['seconds']:.1f}s "
+        f"({lazy_full['jobs_per_sec']:.0f} jobs/s) "
+        f"peak={lazy_full['peak_tracemalloc_mb']:.2f}MB "
+        f"(budget {report['memory_budget_mb']:.0f}MB: "
+        f"{'ok' if lazy_full['peak_tracemalloc_mb'] <= report['memory_budget_mb'] else 'EXCEEDED'})"
+    )
+    print(
+        f"lazy    ({lazy_base['jobs']} jobs from disk): "
+        f"{lazy_base['seconds']:.1f}s "
+        f"({lazy_base['jobs_per_sec']:.0f} jobs/s) "
+        f"peak={lazy_base['peak_tracemalloc_mb']:.2f}MB"
+    )
+    print(
+        f"peak growth {lazy_full['jobs'] // lazy_base['jobs']}x jobs: "
+        f"{report['peak_ratio_full_over_baseline']:.2f}x "
+        f"(limit {report['peak_ratio_limit']:.1f}x + "
+        f"{report['peak_slack_mb']:.1f}MB slack = "
+        f"{report['peak_growth_limit_mb']:.2f}MB: "
+        f"{'ok' if report['within_growth_limit'] else 'EXCEEDED'})"
+    )
+    print(
+        f"upfront ({upfront['jobs']} jobs in memory): "
+        f"{upfront['seconds']:.1f}s "
+        f"peak={upfront['peak_tracemalloc_mb']:.2f}MB "
+        f"({report['upfront_peak_over_lazy_peak']:.1f}x the lazy peak); "
+        f"summaries bit-identical={report['summaries_match']}"
+    )
+    if not report["ok"]:
+        print("ERROR: memory budget, peak ratio, or lazy/upfront equivalence violated")
+    return report, report["ok"]
+
+
 def run_events_report(args) -> tuple[dict, bool]:
     """Rebuild a summary offline from an exported jsonl event stream."""
     from dataclasses import asdict
@@ -356,16 +417,21 @@ def run_events_report(args) -> tuple[dict, bool]:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--bench", type=int, choices=(4, 5, 6), default=4,
+        "--bench", type=int, choices=(4, 5, 6, 7), default=4,
         help="which BENCH_<n>.json to produce "
-        "(4=placement, 5=preemption, 6=telemetry)",
+        "(4=placement, 5=preemption, 6=telemetry, 7=trace-replay)",
     )
     parser.add_argument("--cycles", type=int, default=None, help="anchor/burst cycles")
     parser.add_argument("--fillers", type=int, default=None, help="fillers per cycle")
     parser.add_argument("--rounds", type=int, default=25, help="attempt-cost rounds")
     parser.add_argument(
         "--jobs", type=int, default=None,
-        help="bench 6 trace length (default: the 100k acceptance scale)",
+        help="bench 6/7 trace length (default: the 100k / 1M acceptance scale)",
+    )
+    parser.add_argument(
+        "--baseline-jobs", type=int, default=None,
+        help="bench 7 baseline trace length for the peak-ratio check "
+        "(default: the 100k acceptance scale)",
     )
     parser.add_argument(
         "--events", default=None, metavar="FILE.jsonl",
@@ -390,9 +456,12 @@ def main(argv=None) -> int:
     elif args.bench == 5:
         report, ok = run_bench5(args)
         default_out = "BENCH_5.json"
-    else:
+    elif args.bench == 6:
         report, ok = run_bench6(args)
         default_out = "BENCH_6.json"
+    else:
+        report, ok = run_bench7(args)
+        default_out = "BENCH_7.json"
     out = pathlib.Path(args.out or default_out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")

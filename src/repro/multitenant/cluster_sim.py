@@ -56,8 +56,19 @@ completion) and the engine contract it relies on are documented in
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -93,6 +104,17 @@ from .preemption import (
     PreemptionPolicy,
     RunningJobView,
 )
+from .trace import TraceReader, TraceRecord
+
+#: Event-loop tier of job-arrival events (see :meth:`EventLoop.schedule`).
+#: Arrivals run before any same-timestamp tick/expiry/round-end event in
+#: *both* submission modes: upfront submission already ordered them first
+#: (their events are scheduled before any dynamic event, so they win the
+#: insertion-order tiebreak), and the negative tier gives the lazily
+#: scheduled trace-cursor arrivals -- whose sequence numbers are assigned
+#: mid-run -- the exact same precedence, which is what keeps the two modes
+#: bit-identical.
+ARRIVAL_TIER = -1
 
 
 class ClusterSimulationError(RuntimeError):
@@ -230,6 +252,7 @@ class _EventDrivenBatch:
         telemetry=None,
         keep_results: bool = True,
         tenants: Optional[Sequence] = None,
+        record_stream: Optional[Iterator[TraceRecord]] = None,
     ) -> None:
         self.simulator = simulator
         # Streaming telemetry (see repro.multitenant.telemetry): the sink is
@@ -289,59 +312,135 @@ class _EventDrivenBatch:
                 arrival,
                 self._arrival_callback(job),
                 label=f"arrive:{job.job_id}",
+                tier=ARRIVAL_TIER,
             )
+        # Lazy trace replay (see docs/architecture.md, "Trace ingestion &
+        # replay"): instead of minting every job upfront, a single
+        # *pending-arrival cursor* event walks the record stream -- each
+        # firing mints exactly one job at its arrival instant, runs the
+        # normal arrival logic, and schedules the cursor for the next
+        # record.  Peak memory is then O(in-flight jobs), not O(trace).
+        self._records = iter(record_stream) if record_stream is not None else None
+        self._stream_index = 0
+        self._last_stream_arrival: Optional[float] = None
+        self._stream_capacity = simulator.template_cloud.total_computing_capacity()
+        if self._records is not None:
+            self._schedule_next_arrival()
 
     # ------------------------------------------------------------------
     # Event handlers
     # ------------------------------------------------------------------
     def _arrival_callback(self, job: Job):
         def on_arrival(loop: EventLoop) -> None:
-            now = loop.now
-            if self.telemetry is not None:
-                self.telemetry.job_arrived(
-                    job.job_id,
-                    now,
-                    circuit=job.circuit.name,
-                    num_qubits=job.num_qubits,
-                    tenant=self.tenants.get(job.job_id),
-                )
-            if not self.admission.admit(job, now, len(self.pending)):
-                # One drop transition for every removal path: the controller
-                # releases reservations iff the job actually holds any (a
-                # rejected job never did), so the drop cannot disturb the
-                # cloud's resource version.
-                self.controller.drop(job)
-                self._record_result(
-                    self._dropped_result(job, JobOutcome.REJECTED, now)
-                )
-                return
-            self.pending.append(job)
-            if self.telemetry is not None:
-                self.telemetry.job_admitted(job.job_id, now)
-            self.min_pending_qubits = min(
-                self.min_pending_qubits, job.num_qubits
-            )
-            deadline = self.admission.queueing_deadline(job)
-            if deadline is not None:
-                self.expiry_handles[job.job_id] = self.loop.schedule_at(
-                    max(deadline, now),
-                    self._expiry_callback(job),
-                    label=f"expire:{job.job_id}",
-                )
-                if self.preemption_enabled:
-                    # Give the policy a decision point *before* the expiry
-                    # event fires (e.g. DeadlineRescue's horizon check).
-                    check = self.preemption.rescue_check_time(job, deadline)
-                    if check is not None:
-                        self.loop.schedule_at(
-                            max(check, now),
-                            self._rescue_check_callback(job),
-                            label=f"preempt-check:{job.job_id}",
-                        )
-            self.resources_changed = True
-            self._request_tick(now)
+            self._handle_arrival(job, loop.now)
 
         return on_arrival
+
+    def _handle_arrival(self, job: Job, now: float) -> None:
+        """Run the arrival lifecycle for one job at its arrival instant.
+
+        Shared verbatim by both submission modes -- upfront arrival events
+        and the lazy trace cursor -- so a job admitted at time t takes the
+        exact same admission/expiry/tick path regardless of how it was fed.
+        """
+        if self.telemetry is not None:
+            self.telemetry.job_arrived(
+                job.job_id,
+                now,
+                circuit=job.circuit.name,
+                num_qubits=job.num_qubits,
+                tenant=self.tenants.get(job.job_id),
+            )
+        if not self.admission.admit(job, now, len(self.pending)):
+            # One drop transition for every removal path: the controller
+            # releases reservations iff the job actually holds any (a
+            # rejected job never did), so the drop cannot disturb the
+            # cloud's resource version.
+            self.controller.drop(job)
+            self._record_result(
+                self._dropped_result(job, JobOutcome.REJECTED, now)
+            )
+            return
+        self.pending.append(job)
+        if self.telemetry is not None:
+            self.telemetry.job_admitted(job.job_id, now)
+        self.min_pending_qubits = min(
+            self.min_pending_qubits, job.num_qubits
+        )
+        deadline = self.admission.queueing_deadline(job)
+        if deadline is not None:
+            self.expiry_handles[job.job_id] = self.loop.schedule_at(
+                max(deadline, now),
+                self._expiry_callback(job),
+                label=f"expire:{job.job_id}",
+            )
+            if self.preemption_enabled:
+                # Give the policy a decision point *before* the expiry
+                # event fires (e.g. DeadlineRescue's horizon check).
+                check = self.preemption.rescue_check_time(job, deadline)
+                if check is not None:
+                    self.loop.schedule_at(
+                        max(check, now),
+                        self._rescue_check_callback(job),
+                        label=f"preempt-check:{job.job_id}",
+                    )
+        self.resources_changed = True
+        self._request_tick(now)
+
+    def _schedule_next_arrival(self) -> None:
+        """Advance the pending-arrival cursor to the next trace record.
+
+        At most one cursor event is ever outstanding: each firing mints one
+        job, feeds it through :meth:`_handle_arrival`, and schedules the
+        cursor for the following record, so the whole trace is walked with
+        O(1) arrival events in the queue.  Records are validated as the
+        cursor reaches them (the stream may come straight off disk), with
+        the same errors the upfront path raises for the equivalent input.
+        """
+        record = next(self._records, None)
+        if record is None:
+            return
+        index = self._stream_index
+        self._stream_index += 1
+        arrival = float(record.arrival_time)
+        if not math.isfinite(arrival):
+            raise ValueError(
+                f"trace record #{index}: arrival time is not finite: "
+                f"{record.arrival_time!r}"
+            )
+        if arrival < 0:
+            raise ValueError("arrival times cannot be negative")
+        if (
+            self._last_stream_arrival is not None
+            and arrival < self._last_stream_arrival
+        ):
+            raise ValueError(
+                f"trace records are not sorted: record #{index} arrives at "
+                f"{arrival}, before the previous record's "
+                f"{self._last_stream_arrival}"
+            )
+        self._last_stream_arrival = arrival
+        circuit = record.resolve_circuit()
+        if circuit.num_qubits > self._stream_capacity:
+            raise ClusterSimulationError(
+                f"circuit {circuit.name} needs {circuit.num_qubits} qubits but "
+                f"the cloud only has {self._stream_capacity}"
+            )
+        tenant = record.tenant
+
+        def on_cursor(loop: EventLoop) -> None:
+            job = self.controller.submit(circuit, arrival_time=arrival)
+            if tenant is not None:
+                self.tenants[job.job_id] = tenant
+            self._handle_arrival(job, loop.now)
+            self._schedule_next_arrival()
+
+        self.loop.schedule_at(
+            arrival,
+            on_cursor,
+            label=f"arrive:trace[{index}]",
+            tier=ARRIVAL_TIER,
+        )
 
     def _expiry_callback(self, job: Job):
         def on_expiry(loop: EventLoop) -> None:
@@ -935,10 +1034,11 @@ class MultiTenantSimulator:
                 "keep_results=False requires a telemetry sink; the run "
                 "would otherwise produce nothing"
             )
+        # Validate *all* pairings before the empty-batch early return: an
+        # empty circuit list with non-empty arrival_times/tenants used to
+        # slip through and silently return [], hiding a caller-side bug.
         if tenants is not None and len(tenants) != len(circuits):
             raise ValueError("tenants must match the number of circuits")
-        if not circuits:
-            return []
         if arrival_times is None:
             arrival_times = [0.0] * len(circuits)
         else:
@@ -947,6 +1047,8 @@ class MultiTenantSimulator:
             raise ValueError("arrival_times must match the number of circuits")
         if any(time < 0 for time in arrival_times):
             raise ValueError("arrival times cannot be negative")
+        if not circuits:
+            return []
 
         total_capacity = self.template_cloud.total_computing_capacity()
         for circuit in circuits:
@@ -968,12 +1070,16 @@ class MultiTenantSimulator:
 
     def run_stream(
         self,
-        circuits: Sequence[QuantumCircuit],
-        arrival_times: Sequence[float],
+        circuits: Optional[Sequence[QuantumCircuit]] = None,
+        arrival_times: Optional[Sequence[float]] = None,
         seed: Optional[int] = None,
         telemetry=None,
         keep_results: bool = True,
         tenants: Optional[Sequence] = None,
+        trace: Optional[
+            Union[str, os.PathLike, TraceReader, Iterable[TraceRecord]]
+        ] = None,
+        trace_format: Optional[str] = None,
     ) -> List[TenantJobResult]:
         """Incoming-job mode: circuits arriving over time (Sec. V-B).
 
@@ -985,6 +1091,20 @@ class MultiTenantSimulator:
         :func:`~repro.multitenant.arrivals.trace_arrivals`.  Arrivals flow
         through the same event path as batch mode; batch mode is simply the
         special case where every arrival is at t=0.
+
+        ``trace=`` replays a *recorded trace* instead (mutually exclusive
+        with ``circuits``/``arrival_times``/``tenants``): a path to an
+        on-disk trace (jsonl/CSV, see :mod:`repro.multitenant.trace`; format
+        inferred from the extension or forced with ``trace_format=``), a
+        :class:`~repro.multitenant.TraceReader`, a
+        :class:`~repro.multitenant.ClusterTrace`, or any iterable of
+        :class:`~repro.multitenant.TraceRecord`.  Records are consumed
+        **lazily** through a pending-arrival cursor event -- each job is
+        minted at its arrival instant and each record's ``tenant`` feeds the
+        telemetry sink -- so with ``keep_results=False`` a million-job
+        on-disk trace replays with peak memory independent of the job count.
+        The lazy path is bit-identical to submitting the same workload
+        upfront under a fixed seed (pinned by golden A/B tests).
 
         Every arrival passes through the simulator's admission policy first
         (:class:`~repro.multitenant.AdmitAll` by default); dropped jobs come
@@ -1000,8 +1120,37 @@ class MultiTenantSimulator:
         ``TenantJobResult`` lists (see ``docs/architecture.md``,
         "Telemetry & observability").
         """
-        if arrival_times is None:
-            raise ValueError("run_stream requires explicit arrival times")
+        if trace is not None:
+            if circuits is not None or arrival_times is not None:
+                raise ValueError(
+                    "trace= is mutually exclusive with circuits/arrival_times"
+                )
+            if tenants is not None:
+                raise ValueError(
+                    "trace= carries per-record tenants; tenants= is only for "
+                    "the circuits/arrival_times form"
+                )
+            if telemetry is None and not keep_results:
+                raise ValueError(
+                    "keep_results=False requires a telemetry sink; the run "
+                    "would otherwise produce nothing"
+                )
+            return _EventDrivenBatch(
+                self,
+                (),
+                (),
+                seed,
+                telemetry=telemetry,
+                keep_results=keep_results,
+                record_stream=self._trace_records(trace, trace_format),
+            ).execute()
+        if trace_format is not None:
+            raise ValueError("trace_format= only applies with trace=")
+        if circuits is None or arrival_times is None:
+            raise ValueError(
+                "run_stream requires circuits and explicit arrival times "
+                "(or a recorded trace via trace=)"
+            )
         return self.run_batch(
             circuits,
             seed=seed,
@@ -1010,6 +1159,23 @@ class MultiTenantSimulator:
             keep_results=keep_results,
             tenants=tenants,
         )
+
+    @staticmethod
+    def _trace_records(
+        trace: Union[str, os.PathLike, TraceReader, Iterable[TraceRecord]],
+        trace_format: Optional[str],
+    ) -> Iterator[TraceRecord]:
+        """Coerce any accepted ``trace=`` input into a lazy record iterator."""
+        if isinstance(trace, (str, os.PathLike)):
+            return iter(TraceReader(trace, format=trace_format))
+        if trace_format is not None:
+            raise ValueError(
+                "trace_format= only applies when trace= is a path"
+            )
+        iter_records = getattr(trace, "iter_records", None)
+        if callable(iter_records):  # ClusterTrace (and adapter-like objects)
+            return iter_records()
+        return iter(trace)
 
     def run_batches(
         self,

@@ -1,0 +1,573 @@
+"""Recorded-trace ingestion: the on-disk trace schema and streaming reader.
+
+A *recorded trace* is a job-submission log on disk -- one record per job,
+sorted by arrival time -- that :meth:`~repro.multitenant.MultiTenantSimulator.
+run_stream` can replay **lazily**: records are read one at a time and jobs are
+minted at their arrival event, so a million-job trace replays with peak memory
+independent of the job count (pair with ``telemetry=`` + ``keep_results=False``
+for the output side; see ``docs/architecture.md``, "Trace ingestion & replay").
+
+Trace schema (version 1)
+------------------------
+A trace is either **jsonl** or **CSV**; both carry the same record fields and
+a versioned header, and both are validated strictly on read (wrong or missing
+version, unsorted or non-finite timestamps, missing or unknown fields all
+raise :class:`TraceFormatError` naming the offending record).
+
+jsonl: the first line is the header object, every following line one record::
+
+    {"schema": "repro-trace", "version": 1}
+    {"t": 0.0, "circuit": "ghz_n8", "tenant": 17}
+    {"t": 0.4, "circuit": "qft_n16", "tenant": 3, "priority": 2.0}
+    {"t": 1.1, "circuit": "ghz_n4", "tenant": 17, "deadline": 300.0}
+
+CSV: the first line is a ``# repro-trace v1`` header comment, the second the
+column header, then one row per record (empty cells mean "absent")::
+
+    # repro-trace v1
+    arrival_time,circuit,tenant,priority,deadline
+    0.0,ghz_n8,17,,
+    0.4,qft_n16,3,2.0,
+    1.1,ghz_n4,17,,300.0
+
+Record fields:
+
+``t`` / ``arrival_time``
+    Required.  Finite submission timestamp, non-decreasing across the trace.
+    Stored in whatever unit the recording used; :class:`TraceReader` can
+    rebase/compress into simulator time exactly like
+    :func:`~repro.multitenant.arrivals.trace_arrivals` (the two share one
+    formula, :func:`~repro.multitenant.arrivals.rebase_timestamp`).
+``circuit``
+    Required.  A circuit-library reference (``"<family>_n<qubits>"``, e.g.
+    ``"ghz_n8"``; see :func:`repro.circuits.library.get_circuit`).  Resolved
+    to a circuit object only when the job is minted at its arrival event.
+``tenant``
+    Optional int or string tenant id, fed to per-tenant telemetry.
+``priority``
+    Optional finite float.  Recorded submission priority (e.g. a cluster
+    scheduling class).  Preserved verbatim by serialization; the replay path
+    itself derives scheduling priority from the circuit (Eq. 11), so this
+    field is carried for adapters/round-tripping and priority-aware policies.
+``deadline``
+    Optional finite float > 0: the job's queueing-deadline *budget* in trace
+    time units (relative to arrival).  Carried for round-tripping; replay
+    deadlines come from the simulator's admission policy.
+
+Adapters for public cluster-trace job-table formats (Azure-, Google- and
+Alibaba-style columns) live in :mod:`repro.multitenant.trace_adapters`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import (
+    IO,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from ..circuits import QuantumCircuit
+from ..circuits.library import get_circuit
+from .arrivals import rebase_timestamp
+
+#: Schema identifier carried by every trace header.
+TRACE_SCHEMA = "repro-trace"
+#: Current (and only) schema version.
+TRACE_SCHEMA_VERSION = 1
+#: Record fields, in CSV column order.
+TRACE_FIELDS = ("arrival_time", "circuit", "tenant", "priority", "deadline")
+#: jsonl spelling of each record field (compact, matching the telemetry
+#: event stream's style).
+_JSONL_KEYS = {"arrival_time": "t"}
+#: CSV header comment of the current version.
+_CSV_HEADER_COMMENT = f"# {TRACE_SCHEMA} v{TRACE_SCHEMA_VERSION}"
+
+
+class TraceFormatError(ValueError):
+    """A trace file/stream violates the documented schema.
+
+    The message always names the offending record (0-based record index, and
+    the file line for on-disk sources) so a malformed row in a million-job
+    trace can be located directly.
+    """
+
+
+@lru_cache(maxsize=None)
+def cached_circuit(name: str) -> QuantumCircuit:
+    """Resolve a circuit-library reference, building each circuit once.
+
+    One process-wide cache shared by trace replay and the synthetic workload
+    generators, so replaying a trace never duplicates circuit objects and
+    placement-context memoization keys on identical circuit identities.
+    """
+    return get_circuit(name)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One recorded job submission (see the module docstring for fields)."""
+
+    arrival_time: float
+    circuit: str
+    tenant: Optional[Union[int, str]] = None
+    priority: Optional[float] = None
+    deadline: Optional[float] = None
+
+    def resolve_circuit(self) -> QuantumCircuit:
+        """Materialize the referenced circuit (cached per library name)."""
+        return cached_circuit(self.circuit)
+
+    def replace_arrival(self, arrival_time: float) -> "TraceRecord":
+        return TraceRecord(
+            arrival_time=arrival_time,
+            circuit=self.circuit,
+            tenant=self.tenant,
+            priority=self.priority,
+            deadline=self.deadline,
+        )
+
+
+# ----------------------------------------------------------------------
+# Field-level validation (shared by both formats and the writer)
+# ----------------------------------------------------------------------
+def _fail(index: int, line: Optional[int], message: str) -> "TraceFormatError":
+    where = f"trace record #{index}"
+    if line is not None:
+        where += f" (line {line})"
+    return TraceFormatError(f"{where}: {message}")
+
+
+def _check_record(
+    record: TraceRecord,
+    index: int,
+    line: Optional[int],
+    previous_arrival: Optional[float],
+) -> None:
+    t = record.arrival_time
+    if not isinstance(t, (int, float)) or isinstance(t, bool):
+        raise _fail(index, line, f"arrival time must be a number, got {t!r}")
+    if not math.isfinite(t):
+        raise _fail(index, line, f"arrival time is not finite: {t!r}")
+    if previous_arrival is not None and t < previous_arrival:
+        raise _fail(
+            index,
+            line,
+            f"arrival times are not sorted: {t} precedes the previous "
+            f"record's {previous_arrival}; sort the trace before writing it",
+        )
+    if not isinstance(record.circuit, str) or not record.circuit:
+        raise _fail(
+            index, line,
+            f"circuit must be a non-empty library name, got {record.circuit!r}",
+        )
+    tenant = record.tenant
+    if tenant is not None and not isinstance(tenant, (int, str)):
+        raise _fail(
+            index, line, f"tenant must be an int or string, got {tenant!r}"
+        )
+    for field_name in ("priority", "deadline"):
+        value = getattr(record, field_name)
+        if value is None:
+            continue
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise _fail(
+                index, line, f"{field_name} must be a number, got {value!r}"
+            )
+        if not math.isfinite(value):
+            raise _fail(index, line, f"{field_name} is not finite: {value!r}")
+        if field_name == "deadline" and value <= 0:
+            raise _fail(
+                index, line,
+                f"deadline must be a positive budget, got {value!r}",
+            )
+
+
+def validate_records(records: Iterable[TraceRecord]) -> Iterator[TraceRecord]:
+    """Yield ``records`` unchanged, enforcing the schema invariants.
+
+    Used to re-validate adapter output or hand-built record streams without
+    a serialization round trip.
+    """
+    previous: Optional[float] = None
+    for index, record in enumerate(records):
+        _check_record(record, index, None, previous)
+        previous = float(record.arrival_time)
+        yield record
+
+
+# ----------------------------------------------------------------------
+# Format detection
+# ----------------------------------------------------------------------
+def trace_format_for_path(path: Union[str, os.PathLike]) -> str:
+    """Infer ``"jsonl"`` or ``"csv"`` from a file extension."""
+    suffix = os.path.splitext(os.fspath(path))[1].lower()
+    if suffix in (".jsonl", ".json", ".ndjson"):
+        return "jsonl"
+    if suffix == ".csv":
+        return "csv"
+    raise TraceFormatError(
+        f"cannot infer trace format from {path!r} (expected a .jsonl or .csv "
+        "extension); pass format='jsonl' or format='csv' explicitly"
+    )
+
+
+def _resolve_format(
+    source: Union[str, os.PathLike, IO[str]], format: Optional[str]
+) -> str:
+    if format is None:
+        if isinstance(source, (str, os.PathLike)):
+            return trace_format_for_path(source)
+        raise TraceFormatError(
+            "format= is required when reading from a file object"
+        )
+    if format not in ("jsonl", "csv"):
+        raise TraceFormatError(
+            f"unknown trace format {format!r} (expected 'jsonl' or 'csv')"
+        )
+    return format
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+class TraceReader:
+    """Streaming reader over an on-disk recorded trace.
+
+    Iterating a ``TraceReader`` yields :class:`TraceRecord` objects one at a
+    time straight off the file -- the trace is never materialized, so a
+    10^6-job file replays in bounded memory.  Every record is validated as it
+    is read; violations raise :class:`TraceFormatError` with the record index
+    and line number.
+
+    Parameters
+    ----------
+    source:
+        A path (format inferred from the extension) or an open text-file
+        object (``format=`` required; single-pass).  Path sources are
+        re-iterable: each ``iter()`` opens the file afresh.
+    format:
+        ``"jsonl"`` or ``"csv"``; inferred from a path's extension when
+        omitted.
+    start, time_scale:
+        Optional rebase into simulator time, applying exactly the
+        :func:`~repro.multitenant.arrivals.trace_arrivals` formula: the
+        earliest timestamp lands at ``start`` and gaps are multiplied by
+        ``time_scale``.  With both left at their defaults (``start=None``,
+        ``time_scale=1.0``) timestamps are passed through verbatim, so a
+        write/read round trip is the identity.
+    """
+
+    def __init__(
+        self,
+        source: Union[str, os.PathLike, IO[str]],
+        format: Optional[str] = None,
+        start: Optional[float] = None,
+        time_scale: float = 1.0,
+    ) -> None:
+        self.source = source
+        self.format = _resolve_format(source, format)
+        if not math.isfinite(time_scale) or time_scale <= 0:
+            raise ValueError("time_scale must be positive and finite")
+        if start is not None and not math.isfinite(start):
+            raise ValueError("start must be finite")
+        self._rebase = start is not None or time_scale != 1.0
+        self.start = 0.0 if start is None else float(start)
+        self.time_scale = float(time_scale)
+        self.header: Optional[dict] = None
+
+    # -- header ---------------------------------------------------------
+    def _read_jsonl_header(self, line: str, line_no: int) -> dict:
+        try:
+            header = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"line {line_no}: trace header is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(header, dict) or header.get("schema") != TRACE_SCHEMA:
+            raise TraceFormatError(
+                f"line {line_no}: not a {TRACE_SCHEMA} trace (the first jsonl "
+                f"line must be the header object, got {line.strip()!r})"
+            )
+        version = header.get("version")
+        if version != TRACE_SCHEMA_VERSION:
+            raise TraceFormatError(
+                f"line {line_no}: unsupported trace schema version "
+                f"{version!r} (this reader understands version "
+                f"{TRACE_SCHEMA_VERSION})"
+            )
+        return header
+
+    def _read_csv_header(self, comment: str, line_no: int) -> dict:
+        stripped = comment.strip()
+        if stripped != _CSV_HEADER_COMMENT:
+            raise TraceFormatError(
+                f"line {line_no}: not a {TRACE_SCHEMA} CSV trace (the first "
+                f"line must be {_CSV_HEADER_COMMENT!r}, got {stripped!r})"
+            )
+        return {"schema": TRACE_SCHEMA, "version": TRACE_SCHEMA_VERSION}
+
+    # -- record parsing -------------------------------------------------
+    def _parse_jsonl_record(self, line: str, index: int, line_no: int) -> TraceRecord:
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise _fail(index, line_no, f"invalid JSON: {exc}") from None
+        if not isinstance(raw, dict):
+            raise _fail(index, line_no, f"record must be an object, got {raw!r}")
+        known = {"t", "circuit", "tenant", "priority", "deadline"}
+        unknown = sorted(set(raw) - known)
+        if unknown:
+            raise _fail(
+                index, line_no,
+                f"unknown field(s) {unknown} (schema v{TRACE_SCHEMA_VERSION} "
+                f"fields: {sorted(known)})",
+            )
+        if "t" not in raw:
+            raise _fail(index, line_no, "missing required field 't'")
+        if "circuit" not in raw:
+            raise _fail(index, line_no, "missing required field 'circuit'")
+        priority = raw.get("priority")
+        deadline = raw.get("deadline")
+        return TraceRecord(
+            arrival_time=raw["t"],
+            circuit=raw.get("circuit"),
+            tenant=raw.get("tenant"),
+            priority=None if priority is None else priority,
+            deadline=None if deadline is None else deadline,
+        )
+
+    def _parse_csv_row(
+        self,
+        row: Sequence[str],
+        columns: Sequence[str],
+        index: int,
+        line_no: int,
+    ) -> TraceRecord:
+        if len(row) != len(columns):
+            raise _fail(
+                index, line_no,
+                f"expected {len(columns)} columns, got {len(row)}",
+            )
+        cells = dict(zip(columns, row))
+
+        def number(column: str) -> Optional[float]:
+            cell = cells.get(column, "")
+            if cell == "":
+                return None
+            try:
+                return float(cell)
+            except ValueError:
+                raise _fail(
+                    index, line_no,
+                    f"column {column!r} is not a number: {cell!r}",
+                ) from None
+
+        arrival = number("arrival_time")
+        if arrival is None:
+            raise _fail(index, line_no, "missing required column 'arrival_time'")
+        tenant_cell = cells.get("tenant", "")
+        tenant: Optional[Union[int, str]]
+        if tenant_cell == "":
+            tenant = None
+        else:
+            # Integer tenant ids round-trip as ints; anything else is a string.
+            try:
+                tenant = int(tenant_cell)
+            except ValueError:
+                tenant = tenant_cell
+        return TraceRecord(
+            arrival_time=arrival,
+            circuit=cells.get("circuit", ""),
+            tenant=tenant,
+            priority=number("priority"),
+            deadline=number("deadline"),
+        )
+
+    # -- iteration ------------------------------------------------------
+    def _open(self) -> IO[str]:
+        if isinstance(self.source, (str, os.PathLike)):
+            return open(self.source, "r", encoding="utf-8", newline="")
+        return self.source
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        stream = self._open()
+        owns = isinstance(self.source, (str, os.PathLike))
+        try:
+            if self.format == "jsonl":
+                yield from self._iter_jsonl(stream)
+            else:
+                yield from self._iter_csv(stream)
+        finally:
+            if owns:
+                stream.close()
+
+    def _iter_jsonl(self, stream: IO[str]) -> Iterator[TraceRecord]:
+        index = 0
+        previous: Optional[float] = None
+        first: Optional[float] = None
+        for line_no, line in enumerate(stream, start=1):
+            if not line.strip():
+                continue
+            if self.header is None or line_no == 1:
+                self.header = self._read_jsonl_header(line, line_no)
+                continue
+            record = self._parse_jsonl_record(line, index, line_no)
+            _check_record(record, index, line_no, previous)
+            previous = float(record.arrival_time)
+            if first is None:
+                first = previous
+            yield self._emit(record, first)
+            index += 1
+        if self.header is None:
+            raise TraceFormatError("trace is empty: missing the header line")
+
+    def _iter_csv(self, stream: IO[str]) -> Iterator[TraceRecord]:
+        comment = stream.readline()
+        if not comment:
+            raise TraceFormatError("trace is empty: missing the header line")
+        self.header = self._read_csv_header(comment, 1)
+        reader = csv.reader(stream)
+        columns: Optional[Sequence[str]] = None
+        index = 0
+        previous: Optional[float] = None
+        first: Optional[float] = None
+        for row in reader:
+            line_no = reader.line_num + 1  # +1 for the comment line
+            if not row:
+                continue
+            if columns is None:
+                columns = [cell.strip() for cell in row]
+                unknown = sorted(set(columns) - set(TRACE_FIELDS))
+                if unknown:
+                    raise TraceFormatError(
+                        f"line {line_no}: unknown column(s) {unknown} "
+                        f"(schema v{TRACE_SCHEMA_VERSION} columns: "
+                        f"{list(TRACE_FIELDS)})"
+                    )
+                for required in ("arrival_time", "circuit"):
+                    if required not in columns:
+                        raise TraceFormatError(
+                            f"line {line_no}: missing required column "
+                            f"{required!r}"
+                        )
+                continue
+            record = self._parse_csv_row(row, columns, index, line_no)
+            _check_record(record, index, line_no, previous)
+            previous = float(record.arrival_time)
+            if first is None:
+                first = previous
+            yield self._emit(record, first)
+            index += 1
+        if columns is None:
+            raise TraceFormatError("trace has a header but no column row")
+
+    def _emit(self, record: TraceRecord, first: float) -> TraceRecord:
+        if not self._rebase:
+            return record
+        return record.replace_arrival(
+            rebase_timestamp(
+                float(record.arrival_time), first, self.start, self.time_scale
+            )
+        )
+
+
+def read_trace(
+    source: Union[str, os.PathLike, IO[str]],
+    format: Optional[str] = None,
+    start: Optional[float] = None,
+    time_scale: float = 1.0,
+) -> Iterator[TraceRecord]:
+    """Convenience: iterate a trace lazily (see :class:`TraceReader`)."""
+    return iter(TraceReader(source, format=format, start=start, time_scale=time_scale))
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+def _tenant_cell(tenant: Optional[Union[int, str]]) -> str:
+    return "" if tenant is None else str(tenant)
+
+
+def _number_cell(value: Optional[float]) -> str:
+    return "" if value is None else repr(float(value))
+
+
+def write_trace(
+    destination: Union[str, os.PathLike, IO[str]],
+    records: Iterable[TraceRecord],
+    format: Optional[str] = None,
+) -> int:
+    """Write ``records`` as a versioned on-disk trace; returns the count.
+
+    Streams record by record (an iterator source is never materialized) and
+    validates while writing, so an unsorted or non-finite record raises
+    :class:`TraceFormatError` with its index instead of producing a file that
+    every reader will later reject.  ``destination`` is a path (format
+    inferred from the extension) or a writable text-file object (``format=``
+    required).
+
+    Float fields are serialized with ``repr`` so a write/read round trip
+    reproduces every value bit-for-bit in both formats.
+    """
+    fmt = _resolve_format(destination, format)
+    if isinstance(destination, (str, os.PathLike)):
+        with open(destination, "w", encoding="utf-8", newline="") as stream:
+            return _write_to(stream, records, fmt)
+    return _write_to(destination, records, fmt)
+
+
+def _write_to(stream: IO[str], records: Iterable[TraceRecord], fmt: str) -> int:
+    count = 0
+    previous: Optional[float] = None
+    if fmt == "jsonl":
+        stream.write(
+            json.dumps({"schema": TRACE_SCHEMA, "version": TRACE_SCHEMA_VERSION})
+            + "\n"
+        )
+        for index, record in enumerate(records):
+            _check_record(record, index, None, previous)
+            previous = float(record.arrival_time)
+            raw = {"t": previous, "circuit": record.circuit}
+            if record.tenant is not None:
+                raw["tenant"] = record.tenant
+            if record.priority is not None:
+                raw["priority"] = float(record.priority)
+            if record.deadline is not None:
+                raw["deadline"] = float(record.deadline)
+            stream.write(json.dumps(raw) + "\n")
+            count += 1
+        return count
+    stream.write(_CSV_HEADER_COMMENT + "\n")
+    writer = csv.writer(stream, lineterminator="\n")
+    writer.writerow(TRACE_FIELDS)
+    for index, record in enumerate(records):
+        _check_record(record, index, None, previous)
+        previous = float(record.arrival_time)
+        writer.writerow(
+            [
+                repr(previous),
+                record.circuit,
+                _tenant_cell(record.tenant),
+                _number_cell(record.priority),
+                _number_cell(record.deadline),
+            ]
+        )
+        count += 1
+    return count
+
+
+def trace_to_string(records: Iterable[TraceRecord], format: str = "jsonl") -> str:
+    """Serialize a (small) record stream to an in-memory trace document."""
+    buffer = io.StringIO()
+    write_trace(buffer, records, format=format)
+    return buffer.getvalue()

@@ -1,0 +1,306 @@
+"""Adapters normalizing public cluster-trace job tables into the trace schema.
+
+Real cluster traces (Azure VM workloads, the Google cluster-usage traces,
+Alibaba's cluster-trace program) publish job tables as CSV with their own
+column vocabularies.  Each adapter here reads one such table **lazily** and
+yields validated :class:`~repro.multitenant.trace.TraceRecord` streams, which
+can be replayed directly (``run_stream(trace=adapter.iter_records(path))``) or
+written to the documented on-disk format with
+:func:`~repro.multitenant.trace.write_trace` / :meth:`TraceAdapter.convert`.
+
+These traces describe classical jobs, so each adapter maps the recorded
+*resource size* onto a circuit from a fixed pool (default:
+``workloads.TRACE_CIRCUIT_POOL``) -- the mapping is deterministic and
+documented per adapter, keeping replays reproducible.  Malformed rows
+(missing columns, unparsable numbers, out-of-order timestamps) raise
+:class:`~repro.multitenant.trace.TraceFormatError` naming the row index, the
+same strictness as the schema reader: silently skipping rows would replay a
+workload that never happened.
+
+Expected columns (a subset of each trace's published header; extra columns
+are ignored, missing ones are an error):
+
+``azure-vm``
+    ``vmcreated`` (epoch seconds), ``subscriptionid`` (tenant),
+    ``vmcorecountbucket`` (size -> circuit pool index), ``vmcategory``
+    (``Delay-insensitive`` < ``Unknown`` < ``Interactive`` priority).
+``google-cluster``
+    ``time`` (microseconds), ``event_type`` (only ``0`` = SUBMIT rows are
+    jobs; other lifecycle rows are skipped), ``user`` (tenant),
+    ``scheduling_class`` (priority), ``job_id`` (hashed -> circuit pool
+    index, so re-runs of the same table pick the same circuits).
+``alibaba-batch``
+    ``start_time`` (seconds), ``job_name`` (tenant), ``plan_cpu``
+    (requested CPU in "percent of a core" units, bucketed -> circuit pool
+    index).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+import zlib
+from typing import IO, Dict, Iterable, Iterator, List, Optional, Sequence, Type, Union
+
+from .trace import TraceFormatError, TraceRecord, write_trace
+
+#: Default size->circuit pool, smallest first (mirrors the synthetic
+#: generators' pool so adapter output replays on the same topologies).
+DEFAULT_CIRCUIT_POOL = (
+    "ghz_n4",
+    "ghz_n6",
+    "ghz_n8",
+    "ghz_n12",
+    "ghz_n16",
+    "qft_n16",
+    "qft_n29",
+    "ising_n34",
+)
+
+
+class TraceAdapter:
+    """Base class: lazy CSV job-table -> validated ``TraceRecord`` stream.
+
+    Subclasses declare ``name``, ``required_columns`` and implement
+    :meth:`normalize_row`; the base class handles CSV plumbing, column
+    checks, ordering validation, and error reporting with row indices.
+    """
+
+    #: Registry key, e.g. ``"azure-vm"``.
+    name: str = ""
+    #: Columns that must be present in the table header.
+    required_columns: Sequence[str] = ()
+
+    def __init__(self, circuit_pool: Optional[Sequence[str]] = None) -> None:
+        pool = tuple(circuit_pool if circuit_pool is not None else DEFAULT_CIRCUIT_POOL)
+        if not pool:
+            raise ValueError("circuit_pool cannot be empty")
+        self.circuit_pool = pool
+
+    # -- subclass API ---------------------------------------------------
+    def normalize_row(
+        self, row: Dict[str, str], index: int
+    ) -> Optional[TraceRecord]:
+        """Map one raw CSV row to a record, or ``None`` to skip it.
+
+        ``index`` is the 0-based data-row index, for error messages.
+        """
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------
+    def _number(self, row: Dict[str, str], column: str, index: int) -> float:
+        cell = row.get(column, "").strip()
+        if cell == "":
+            raise TraceFormatError(
+                f"{self.name} row #{index}: missing value in column {column!r}"
+            )
+        try:
+            return float(cell)
+        except ValueError:
+            raise TraceFormatError(
+                f"{self.name} row #{index}: column {column!r} is not a "
+                f"number: {cell!r}"
+            ) from None
+
+    def _pool_circuit(self, bucket: int) -> str:
+        return self.circuit_pool[max(0, min(bucket, len(self.circuit_pool) - 1))]
+
+    # -- iteration ------------------------------------------------------
+    def iter_records(
+        self, source: Union[str, os.PathLike, IO[str], Iterable[str]]
+    ) -> Iterator[TraceRecord]:
+        """Lazily yield normalized records from a CSV path/file/line-iterable."""
+        if isinstance(source, (str, os.PathLike)):
+            with open(source, "r", encoding="utf-8", newline="") as stream:
+                yield from self._iter_stream(stream)
+        else:
+            yield from self._iter_stream(source)
+
+    def _iter_stream(self, stream: Union[IO[str], Iterable[str]]) -> Iterator[TraceRecord]:
+        reader = csv.DictReader(stream)
+        if reader.fieldnames is None:
+            raise TraceFormatError(f"{self.name} table is empty: no header row")
+        columns = {name.strip() for name in reader.fieldnames}
+        missing = sorted(set(self.required_columns) - columns)
+        if missing:
+            raise TraceFormatError(
+                f"{self.name} table is missing required column(s) {missing} "
+                f"(header has {sorted(columns)})"
+            )
+        previous: Optional[float] = None
+        for index, row in enumerate(reader):
+            record = self.normalize_row(row, index)
+            if record is None:
+                continue
+            if previous is not None and record.arrival_time < previous:
+                raise TraceFormatError(
+                    f"{self.name} row #{index}: arrival times are not sorted "
+                    f"({record.arrival_time} precedes {previous}); sort the "
+                    "table by its timestamp column before adapting it"
+                )
+            previous = float(record.arrival_time)
+            yield record
+
+    def convert(
+        self,
+        source: Union[str, os.PathLike, IO[str], Iterable[str]],
+        destination: Union[str, os.PathLike, IO[str]],
+        format: Optional[str] = None,
+    ) -> int:
+        """Stream-convert a raw table into an on-disk trace; returns the count."""
+        return write_trace(destination, self.iter_records(source), format=format)
+
+
+class AzureVMAdapter(TraceAdapter):
+    """Azure VM workload table (``vmtable``-style columns).
+
+    ``vmcreated`` is the submission timestamp in epoch seconds;
+    ``subscriptionid`` becomes the tenant; ``vmcorecountbucket`` indexes the
+    circuit pool directly (clamped to the pool, ``>24`` buckets map to the
+    largest circuit); ``vmcategory`` maps to priority 0/1/2 for
+    Delay-insensitive/Unknown/Interactive.
+    """
+
+    name = "azure-vm"
+    required_columns = ("vmcreated", "subscriptionid", "vmcorecountbucket")
+
+    _CATEGORY_PRIORITY = {
+        "Delay-insensitive": 0.0,
+        "Unknown": 1.0,
+        "Interactive": 2.0,
+    }
+    #: Published core-count buckets, ascending; position indexes the pool.
+    _CORE_BUCKETS = ("1", "2", "4", "8", "12", "16", "20", "24")
+
+    def normalize_row(
+        self, row: Dict[str, str], index: int
+    ) -> Optional[TraceRecord]:
+        created = self._number(row, "vmcreated", index)
+        tenant = row.get("subscriptionid", "").strip()
+        if not tenant:
+            raise TraceFormatError(
+                f"{self.name} row #{index}: missing value in column "
+                "'subscriptionid'"
+            )
+        bucket_cell = row.get("vmcorecountbucket", "").strip()
+        if bucket_cell in self._CORE_BUCKETS:
+            bucket = self._CORE_BUCKETS.index(bucket_cell)
+        elif bucket_cell == ">24":
+            bucket = len(self.circuit_pool) - 1
+        else:
+            raise TraceFormatError(
+                f"{self.name} row #{index}: unknown core-count bucket "
+                f"{bucket_cell!r} (expected one of {self._CORE_BUCKETS} "
+                "or '>24')"
+            )
+        category = row.get("vmcategory", "").strip() or "Unknown"
+        priority = self._CATEGORY_PRIORITY.get(category)
+        if priority is None:
+            raise TraceFormatError(
+                f"{self.name} row #{index}: unknown vmcategory {category!r} "
+                f"(expected one of {sorted(self._CATEGORY_PRIORITY)})"
+            )
+        return TraceRecord(
+            arrival_time=created,
+            circuit=self._pool_circuit(bucket),
+            tenant=tenant,
+            priority=priority,
+        )
+
+
+class GoogleClusterAdapter(TraceAdapter):
+    """Google cluster-usage job-events table.
+
+    Only ``event_type == 0`` (SUBMIT) rows describe submissions; other
+    lifecycle rows (SCHEDULE/EVICT/FINISH/...) are skipped.  ``time`` is in
+    microseconds and converted to seconds; ``user`` becomes the tenant;
+    ``scheduling_class`` (0-3) becomes the priority; the circuit is picked by
+    hashing ``job_id`` (CRC-32) into the pool so the same table always maps
+    to the same circuits.
+    """
+
+    name = "google-cluster"
+    required_columns = ("time", "event_type", "user", "scheduling_class", "job_id")
+
+    _SUBMIT = 0
+
+    def normalize_row(
+        self, row: Dict[str, str], index: int
+    ) -> Optional[TraceRecord]:
+        event_type = int(self._number(row, "event_type", index))
+        if event_type != self._SUBMIT:
+            return None
+        time_us = self._number(row, "time", index)
+        tenant = row.get("user", "").strip()
+        if not tenant:
+            raise TraceFormatError(
+                f"{self.name} row #{index}: missing value in column 'user'"
+            )
+        job_id = row.get("job_id", "").strip()
+        if not job_id:
+            raise TraceFormatError(
+                f"{self.name} row #{index}: missing value in column 'job_id'"
+            )
+        scheduling_class = self._number(row, "scheduling_class", index)
+        bucket = zlib.crc32(job_id.encode("utf-8")) % len(self.circuit_pool)
+        return TraceRecord(
+            arrival_time=time_us / 1e6,
+            circuit=self.circuit_pool[bucket],
+            tenant=tenant,
+            priority=scheduling_class,
+        )
+
+
+class AlibabaBatchAdapter(TraceAdapter):
+    """Alibaba cluster-trace ``batch_task``-style table.
+
+    ``start_time`` is the submission timestamp in seconds; ``job_name``
+    becomes the tenant; ``plan_cpu`` (requested CPU, in percent of one core:
+    100 = 1 core) is bucketed by whole cores into the circuit pool.
+    """
+
+    name = "alibaba-batch"
+    required_columns = ("start_time", "job_name", "plan_cpu")
+
+    def normalize_row(
+        self, row: Dict[str, str], index: int
+    ) -> Optional[TraceRecord]:
+        start = self._number(row, "start_time", index)
+        tenant = row.get("job_name", "").strip()
+        if not tenant:
+            raise TraceFormatError(
+                f"{self.name} row #{index}: missing value in column 'job_name'"
+            )
+        plan_cpu = self._number(row, "plan_cpu", index)
+        if plan_cpu < 0:
+            raise TraceFormatError(
+                f"{self.name} row #{index}: plan_cpu cannot be negative, "
+                f"got {plan_cpu!r}"
+            )
+        bucket = int(plan_cpu // 100)
+        return TraceRecord(
+            arrival_time=start,
+            circuit=self._pool_circuit(bucket),
+            tenant=tenant,
+        )
+
+
+#: Adapter registry, keyed by :attr:`TraceAdapter.name`.
+ADAPTERS: Dict[str, Type[TraceAdapter]] = {
+    adapter.name: adapter
+    for adapter in (AzureVMAdapter, GoogleClusterAdapter, AlibabaBatchAdapter)
+}
+
+
+def get_adapter(
+    name: str, circuit_pool: Optional[Sequence[str]] = None
+) -> TraceAdapter:
+    """Instantiate a registered adapter by name (see :data:`ADAPTERS`)."""
+    try:
+        adapter_cls = ADAPTERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace adapter {name!r} (available: {sorted(ADAPTERS)})"
+        ) from None
+    return adapter_cls(circuit_pool=circuit_pool)

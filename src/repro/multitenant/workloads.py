@@ -15,16 +15,16 @@ admission-control policies are evaluated on.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..circuits import QuantumCircuit
-from ..circuits.library import get_circuit
 from ..sim import DEFAULT_LATENCY, local_execution_time
 from .arrivals import trace_arrivals
+from .trace import TraceRecord, cached_circuit as _cached_circuit, write_trace
 
 #: Circuit names of every workload mix used in Figs. 14-17.
 WORKLOADS: Dict[str, List[str]] = {
@@ -40,11 +40,6 @@ WORKLOADS: Dict[str, List[str]] = {
     "qugan": ["qugan_n39", "qugan_n71", "qugan_n111"],
     "arithmetic": ["adder_n64", "adder_n118", "multiplier_n45", "multiplier_n75"],
 }
-
-
-@lru_cache(maxsize=None)
-def _cached_circuit(name: str) -> QuantumCircuit:
-    return get_circuit(name)
 
 
 def workload_names() -> List[str]:
@@ -122,6 +117,34 @@ class ClusterTrace:
     def num_tenants(self) -> int:
         """Number of distinct tenants that actually appear in the trace."""
         return len(set(self.tenant_ids))
+
+    def iter_records(self) -> Iterator[TraceRecord]:
+        """The trace as schema records (see :mod:`repro.multitenant.trace`).
+
+        Circuits are referenced by library name, so a round trip through
+        :meth:`to_file` and a :class:`~repro.multitenant.trace.TraceReader`
+        resolves back to the identical cached circuit objects.  This is also
+        what ``run_stream(trace=cluster_trace)`` consumes.
+        """
+        for circuit, arrival, tenant in zip(
+            self.circuits, self.arrival_times, self.tenant_ids
+        ):
+            yield TraceRecord(
+                arrival_time=arrival, circuit=circuit.name, tenant=tenant
+            )
+
+    def to_file(
+        self,
+        destination: Union[str, os.PathLike],
+        format: Optional[str] = None,
+    ) -> int:
+        """Export as an on-disk recorded trace (jsonl/CSV); returns the count.
+
+        The synthetic generators' output round-trips: writing a generated
+        trace and replaying the file lazily is bit-identical to replaying
+        the in-memory trace directly.
+        """
+        return write_trace(destination, self.iter_records(), format=format)
 
 
 def generate_anchor_burst_trace(

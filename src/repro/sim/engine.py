@@ -31,6 +31,7 @@ class SimulationError(RuntimeError):
 @dataclass(order=True)
 class _QueuedEvent:
     time: float
+    tier: int
     sequence: int
     callback: Callable[["EventLoop"], None] = field(compare=False)
     label: str = field(compare=False, default="")
@@ -108,12 +109,22 @@ class EventLoop:
         delay: float,
         callback: Callable[["EventLoop"], None],
         label: str = "",
+        tier: int = 0,
     ) -> EventHandle:
-        """Schedule ``callback`` to run ``delay`` time units from now."""
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        ``tier`` refines the same-timestamp tiebreak: events at equal time run
+        in ascending tier, and by insertion order within a tier.  The default
+        tier 0 preserves plain insertion-order semantics; a caller that must
+        interleave late-scheduled events ahead of earlier-scheduled ones at
+        the same instant (e.g. the lazy trace-arrival cursor of
+        :mod:`repro.multitenant.cluster_sim`) gives them a negative tier.
+        """
         if delay < 0:
             raise SimulationError("cannot schedule an event in the past")
         event = _QueuedEvent(
             time=self._now + delay,
+            tier=tier,
             sequence=next(self._counter),
             callback=callback,
             label=label,
@@ -126,26 +137,47 @@ class EventLoop:
         time: float,
         callback: Callable[["EventLoop"], None],
         label: str = "",
+        tier: int = 0,
     ) -> EventHandle:
-        """Schedule ``callback`` at an absolute simulation time."""
+        """Schedule ``callback`` at an absolute simulation time.
+
+        The event fires at exactly ``time``: the timestamp is stored as
+        given, never round-tripped through a relative delay (``now +
+        (time - now)`` can land one ulp away from ``time``, which would
+        break bit-identical replays that schedule the same absolute instant
+        from different current times).
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time}, current time is {self._now}"
             )
-        return self.schedule(time - self._now, callback, label=label)
+        event = _QueuedEvent(
+            time=time,
+            tier=tier,
+            sequence=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
 
     def reschedule(self, handle: EventHandle, time: float) -> EventHandle:
         """Move a pending event to absolute ``time``, returning a fresh handle.
 
         The original handle is cancelled; rescheduling an already-cancelled or
-        already-executed event is an error.
+        already-executed event is an error.  The event keeps its tier.
         """
         if handle.cancelled:
             raise SimulationError("cannot reschedule a cancelled event")
         if handle.executed:
             raise SimulationError("cannot reschedule an event that already ran")
         handle.cancel()
-        return self.schedule_at(time, handle._event.callback, label=handle.label)
+        return self.schedule_at(
+            time,
+            handle._event.callback,
+            label=handle.label,
+            tier=handle._event.tier,
+        )
 
     def schedule_repeating(
         self,

@@ -227,3 +227,92 @@ class TestRepeating:
         loop = EventLoop()
         with pytest.raises(SimulationError):
             loop.schedule_repeating(0.0, lambda env: None)
+
+
+class TestTiers:
+    def test_same_time_runs_ascending_tier(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda env: order.append("default"))
+        loop.schedule(1.0, lambda env: order.append("late"), tier=1)
+        loop.schedule(1.0, lambda env: order.append("early"), tier=-1)
+        loop.run()
+        assert order == ["early", "default", "late"]
+
+    def test_insertion_order_within_a_tier(self):
+        loop = EventLoop()
+        order = []
+        for index in range(4):
+            loop.schedule(2.0, lambda env, i=index: order.append(i), tier=-1)
+        loop.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_time_beats_tier(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda env: order.append("sooner"), tier=5)
+        loop.schedule(2.0, lambda env: order.append("later"), tier=-5)
+        loop.run()
+        assert order == ["sooner", "later"]
+
+    def test_negative_tier_event_scheduled_mid_run_preempts_same_time(self):
+        # The lazy trace-arrival cursor pattern: an event scheduled *during*
+        # the run (so with a high sequence number) must still beat tier-0
+        # events at the same timestamp.
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda env: order.append("tick-a"))
+
+        def plant(env):
+            env.schedule_at(3.0, lambda e: order.append("arrival"), tier=-1)
+
+        loop.schedule(2.0, plant)
+        loop.schedule(3.0, lambda env: order.append("tick-b"))
+        loop.run()
+        assert order == ["tick-a", "arrival", "tick-b"]
+
+    def test_reschedule_preserves_tier(self):
+        loop = EventLoop()
+        order = []
+        handle = loop.schedule(5.0, lambda env: order.append("moved"), tier=-1)
+        loop.schedule(3.0, lambda env: order.append("fixed"))
+        loop.schedule(0.0, lambda env: None)  # force a step first
+
+        def move(env):
+            env.reschedule(handle, 3.0)
+
+        loop.schedule(1.0, move)
+        loop.run()
+        assert order == ["moved", "fixed"]
+
+
+class TestScheduleAtExactness:
+    # A float pair where now + (target - now) lands one ulp off target: the
+    # exact trap schedule_at must dodge to keep lazily scheduled arrivals
+    # bit-aligned with upfront ones.
+    NOW = 0.8615060406187329
+    TARGET = 3.9896391258994854
+
+    def test_absolute_time_is_stored_exactly(self):
+        # now + (time - now) can differ from `time` by one ulp; schedule_at
+        # must store the requested instant bit-for-bit, or events scheduled
+        # for the same absolute time from different "now"s would misorder.
+        assert self.NOW + (self.TARGET - self.NOW) != self.TARGET
+        loop = EventLoop()
+        times = []
+        loop.schedule(self.NOW, lambda env: env.schedule_at(
+            self.TARGET, lambda e: times.append(e.now)
+        ))
+        loop.run()
+        assert times == [self.TARGET]
+
+    def test_same_instant_from_different_nows_ties_on_tier(self):
+        loop = EventLoop()
+        order = []
+        target = self.TARGET
+        loop.schedule_at(target, lambda env: order.append("upfront"), tier=-1)
+        loop.schedule(self.NOW, lambda env: env.schedule_at(
+            target, lambda e: order.append("lazy"), tier=-1
+        ))
+        loop.run()
+        assert order == ["upfront", "lazy"]

@@ -1,0 +1,355 @@
+"""Golden A/B tests: lazy trace replay is bit-identical to upfront submission.
+
+The tentpole guarantee of the trace-ingestion layer: feeding
+``run_stream(trace=...)`` lazily through the pending-arrival cursor produces
+exactly the results of the equivalent upfront ``run_stream(circuits,
+arrival_times)`` -- across all four network schedulers, in default and
+preemption-active (deadline-rescue) configurations, with and without a
+``Telemetry`` sink, from in-memory records and from on-disk jsonl/CSV files.
+Also pins the ``run_stream``/``run_batch`` input-validation bugfix.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import ghz, ising
+from repro.cloud import CloudTopology, QuantumCloud
+from repro.cloud import job as job_module
+from repro.multitenant import (
+    ClusterSimulationError,
+    DeadlineRescue,
+    MultiTenantSimulator,
+    QueueingDeadline,
+    Telemetry,
+    TraceReader,
+    TraceRecord,
+    fifo_batch_manager,
+    generate_anchor_burst_trace,
+    generate_cluster_trace,
+    trace_arrivals,
+)
+from repro.placement import CloudQCPlacement
+from repro.scheduling import (
+    AverageScheduler,
+    CloudQCScheduler,
+    GreedyScheduler,
+    RandomScheduler,
+)
+
+SCHEDULERS = [
+    CloudQCScheduler,
+    GreedyScheduler,
+    AverageScheduler,
+    RandomScheduler,
+]
+
+GOLDEN_CIRCUITS = ["ghz_n24", "ising_n34", "ghz_n16", "ghz_n24"]
+GOLDEN_ARRIVALS = [0.0, 11.0, 25.0, 40.0]
+GOLDEN_TENANTS = ["a", "b", "a", "c"]
+
+
+def result_key(result):
+    return (
+        result.job_id,
+        result.circuit_name,
+        result.arrival_time,
+        result.placement_time,
+        result.completion_time,
+        result.num_remote_operations,
+        result.num_qpus_used,
+        result.outcome,
+        result.num_preemptions,
+        result.num_migrations,
+        result.wasted_time,
+        result.wasted_ops,
+    )
+
+
+def small_cloud():
+    return QuantumCloud(
+        CloudTopology.line(4),
+        computing_qubits_per_qpu=16,
+        communication_qubits_per_qpu=4,
+        epr_success_probability=0.9,
+    )
+
+
+def make_simulator(scheduler_cls, admission_policy=None, preemption_policy=None):
+    # Realign the process-global job counter so comparable runs mint
+    # identical job ids (scheduler tiebreaks read the id strings).
+    job_module._job_counter = itertools.count()
+    return MultiTenantSimulator(
+        small_cloud(),
+        placement_algorithm=CloudQCPlacement(),
+        network_scheduler=scheduler_cls(),
+        batch_manager=fifo_batch_manager(),
+        admission_policy=admission_policy,
+        preemption_policy=preemption_policy,
+    )
+
+
+def golden_records():
+    return [
+        TraceRecord(arrival_time=arrival, circuit=name, tenant=tenant)
+        for arrival, name, tenant in zip(
+            GOLDEN_ARRIVALS, GOLDEN_CIRCUITS, GOLDEN_TENANTS
+        )
+    ]
+
+
+def run_upfront(scheduler_cls, telemetry=None, keep_results=True, **sim_kwargs):
+    simulator = make_simulator(scheduler_cls, **sim_kwargs)
+    return simulator.run_stream(
+        [ghz(24), ising(34), ghz(16), ghz(24)],
+        GOLDEN_ARRIVALS,
+        seed=7,
+        telemetry=telemetry,
+        keep_results=keep_results,
+        tenants=GOLDEN_TENANTS,
+    )
+
+
+def run_lazy(scheduler_cls, trace=None, telemetry=None, keep_results=True, **sim_kwargs):
+    simulator = make_simulator(scheduler_cls, **sim_kwargs)
+    return simulator.run_stream(
+        trace=golden_records() if trace is None else trace,
+        seed=7,
+        telemetry=telemetry,
+        keep_results=keep_results,
+    )
+
+
+# ----------------------------------------------------------------------
+# The tentpole: lazy == upfront, bit for bit
+# ----------------------------------------------------------------------
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("scheduler_cls", SCHEDULERS)
+    def test_default_config(self, scheduler_cls):
+        upfront = run_upfront(scheduler_cls)
+        lazy = run_lazy(scheduler_cls)
+        assert [result_key(r) for r in upfront] == [result_key(r) for r in lazy]
+
+    @pytest.mark.parametrize("scheduler_cls", SCHEDULERS)
+    def test_deadline_rescue_config(self, scheduler_cls):
+        # Preemption-active: a queueing deadline plus DeadlineRescue, on the
+        # anchor-burst overload trace that actually triggers evictions.
+        trace = generate_anchor_burst_trace(cycles=4, fillers_per_cycle=6)
+        kwargs = dict(
+            admission_policy=QueueingDeadline(30.0),
+            preemption_policy=DeadlineRescue(horizon=5.0),
+        )
+        simulator = make_simulator(scheduler_cls, **kwargs)
+        upfront = simulator.run_stream(
+            trace.circuits, trace.arrival_times, seed=7, tenants=trace.tenant_ids
+        )
+        simulator = make_simulator(scheduler_cls, **kwargs)
+        lazy = simulator.run_stream(trace=trace, seed=7)
+        assert any(r.num_preemptions > 0 for r in upfront)  # the config bites
+        assert [result_key(r) for r in upfront] == [result_key(r) for r in lazy]
+
+    @pytest.mark.parametrize("scheduler_cls", SCHEDULERS)
+    def test_with_telemetry_sink_and_event_stream(self, scheduler_cls):
+        upfront_events = io.StringIO()
+        upfront = run_upfront(scheduler_cls, telemetry=Telemetry(events=upfront_events))
+        lazy_events = io.StringIO()
+        lazy = run_lazy(scheduler_cls, telemetry=Telemetry(events=lazy_events))
+        assert [result_key(r) for r in upfront] == [result_key(r) for r in lazy]
+        # The jsonl event streams -- arrivals, admissions, placements,
+        # completions, tenants and all -- must match byte for byte.
+        assert upfront_events.getvalue() == lazy_events.getvalue()
+
+    def test_bounded_memory_mode_summaries_match(self):
+        upfront_sink = Telemetry()
+        run_upfront(CloudQCScheduler, telemetry=upfront_sink, keep_results=False)
+        lazy_sink = Telemetry()
+        assert run_lazy(CloudQCScheduler, telemetry=lazy_sink, keep_results=False) == []
+        assert upfront_sink.summary() == lazy_sink.summary()
+
+    @pytest.mark.parametrize("suffix", ["jsonl", "csv"])
+    def test_replay_from_disk(self, suffix, tmp_path):
+        from repro.multitenant import write_trace
+
+        path = tmp_path / f"golden.{suffix}"
+        write_trace(path, golden_records())
+        upfront = run_upfront(CloudQCScheduler)
+        lazy = run_lazy(CloudQCScheduler, trace=str(path))
+        assert [result_key(r) for r in upfront] == [result_key(r) for r in lazy]
+
+    def test_replay_synthetic_cluster_trace(self):
+        # A denser workload than the 4-job golden stream: 150 jobs with
+        # queueing expiries in the mix, replayed through a ClusterTrace.
+        trace = generate_cluster_trace(
+            150, num_tenants=12, seed=5, names=["ghz_n4", "ghz_n8", "ghz_n16"]
+        )
+        kwargs = dict(admission_policy=QueueingDeadline(120.0))
+        simulator = make_simulator(CloudQCScheduler, **kwargs)
+        upfront = simulator.run_stream(
+            trace.circuits, trace.arrival_times, seed=11, tenants=trace.tenant_ids
+        )
+        simulator = make_simulator(CloudQCScheduler, **kwargs)
+        lazy = simulator.run_stream(trace=trace, seed=11)
+        assert [result_key(r) for r in upfront] == [result_key(r) for r in lazy]
+
+    def test_rebasing_reader_matches_trace_arrivals(self, tmp_path):
+        from repro.multitenant import write_trace
+
+        # Raw epoch-style timestamps; both paths compress them 10x onto t=0.
+        raw = [1_700_000_000.0 + 40.0 * i for i in range(4)]
+        path = tmp_path / "raw.jsonl"
+        write_trace(
+            path,
+            [
+                TraceRecord(arrival_time=ts, circuit=name, tenant=tenant)
+                for ts, name, tenant in zip(raw, GOLDEN_CIRCUITS, GOLDEN_TENANTS)
+            ],
+        )
+        rebased = trace_arrivals(raw, start=0.0, time_scale=0.1)
+        simulator = make_simulator(CloudQCScheduler)
+        upfront = simulator.run_stream(
+            [ghz(24), ising(34), ghz(16), ghz(24)], rebased, seed=7
+        )
+        simulator = make_simulator(CloudQCScheduler)
+        lazy = simulator.run_stream(
+            trace=TraceReader(path, start=0.0, time_scale=0.1), seed=7
+        )
+        assert [result_key(r) for r in upfront] == [result_key(r) for r in lazy]
+
+    def test_event_counts_match(self):
+        # The cursor replaces n upfront arrival events with n cursor firings,
+        # so a max_events budget that fits the upfront run fits the lazy run.
+        simulator = make_simulator(CloudQCScheduler)
+        upfront = simulator.run_stream(
+            [ghz(24), ising(34), ghz(16), ghz(24)], GOLDEN_ARRIVALS, seed=7
+        )
+        budget = 10_000
+        job_module._job_counter = itertools.count()
+        tight = MultiTenantSimulator(
+            small_cloud(),
+            placement_algorithm=CloudQCPlacement(),
+            network_scheduler=CloudQCScheduler(),
+            batch_manager=fifo_batch_manager(),
+            max_events=budget,
+        )
+        lazy = tight.run_stream(trace=golden_records(), seed=7)
+        assert [result_key(r) for r in upfront] == [result_key(r) for r in lazy]
+
+
+# ----------------------------------------------------------------------
+# Lazy-path input validation
+# ----------------------------------------------------------------------
+class TestLazyValidation:
+    def test_trace_mutually_exclusive_with_circuits(self):
+        simulator = make_simulator(CloudQCScheduler)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            simulator.run_stream(
+                [ghz(4)], [0.0], trace=golden_records()
+            )
+
+    def test_trace_mutually_exclusive_with_tenants(self):
+        simulator = make_simulator(CloudQCScheduler)
+        with pytest.raises(ValueError, match="tenants"):
+            simulator.run_stream(trace=golden_records(), tenants=["a"])
+
+    def test_missing_both_forms(self):
+        simulator = make_simulator(CloudQCScheduler)
+        with pytest.raises(ValueError, match="requires circuits"):
+            simulator.run_stream()
+
+    def test_keep_results_false_requires_sink(self):
+        simulator = make_simulator(CloudQCScheduler)
+        with pytest.raises(ValueError, match="telemetry sink"):
+            simulator.run_stream(trace=golden_records(), keep_results=False)
+
+    def test_trace_format_only_for_paths(self):
+        simulator = make_simulator(CloudQCScheduler)
+        with pytest.raises(ValueError, match="trace_format"):
+            simulator.run_stream(trace=golden_records(), trace_format="jsonl")
+        with pytest.raises(ValueError, match="trace_format"):
+            simulator.run_stream([ghz(4)], [0.0], trace_format="jsonl")
+
+    def test_unsorted_records_raise_with_index(self):
+        records = [
+            TraceRecord(5.0, "ghz_n4"),
+            TraceRecord(1.0, "ghz_n4"),
+        ]
+        simulator = make_simulator(CloudQCScheduler)
+        with pytest.raises(ValueError, match="record #1"):
+            simulator.run_stream(trace=records, seed=7)
+
+    def test_negative_arrival_rejected(self):
+        simulator = make_simulator(CloudQCScheduler)
+        with pytest.raises(ValueError, match="negative"):
+            simulator.run_stream(trace=[TraceRecord(-1.0, "ghz_n4")], seed=7)
+
+    def test_oversized_circuit_rejected_with_capacity_message(self):
+        simulator = make_simulator(CloudQCScheduler)
+        with pytest.raises(ClusterSimulationError, match="ghz_n120 needs 120"):
+            simulator.run_stream(trace=[TraceRecord(0.0, "ghz_n120")], seed=7)
+
+    def test_empty_trace_returns_empty(self):
+        simulator = make_simulator(CloudQCScheduler)
+        assert simulator.run_stream(trace=[], seed=7) == []
+
+
+# ----------------------------------------------------------------------
+# Regression: run_batch/run_stream length-mismatch validation (bugfix)
+# ----------------------------------------------------------------------
+class TestLengthMismatchRegression:
+    def test_mismatched_arrival_times(self):
+        simulator = make_simulator(CloudQCScheduler)
+        with pytest.raises(ValueError, match="arrival_times must match"):
+            simulator.run_stream([ghz(4), ghz(4)], [0.0])
+        with pytest.raises(ValueError, match="arrival_times must match"):
+            simulator.run_batch([ghz(4)], arrival_times=[0.0, 1.0])
+
+    def test_empty_circuits_with_arrivals_no_longer_slips_through(self):
+        # The old early return (`if not circuits: return []`) ran before the
+        # pairing check, silently swallowing a non-empty arrival_times.
+        simulator = make_simulator(CloudQCScheduler)
+        with pytest.raises(ValueError, match="arrival_times must match"):
+            simulator.run_batch([], arrival_times=[0.0, 1.0])
+        with pytest.raises(ValueError, match="arrival_times must match"):
+            simulator.run_stream([], [0.0])
+
+    def test_empty_circuits_with_tenants(self):
+        simulator = make_simulator(CloudQCScheduler)
+        with pytest.raises(ValueError, match="tenants must match"):
+            simulator.run_batch([], tenants=["a"])
+
+    def test_tenants_mismatch(self):
+        simulator = make_simulator(CloudQCScheduler)
+        with pytest.raises(ValueError, match="tenants must match"):
+            simulator.run_stream([ghz(4)], [0.0], tenants=["a", "b"])
+
+    def test_numpy_arrival_times_still_accepted(self):
+        simulator = make_simulator(CloudQCScheduler)
+        results = simulator.run_stream([ghz(4)], np.array([0.0]), seed=3)
+        assert len(results) == 1
+        with pytest.raises(ValueError, match="arrival_times must match"):
+            simulator.run_stream([ghz(4)], np.array([0.0, 1.0]))
+
+    def test_empty_batch_still_returns_empty(self):
+        simulator = make_simulator(CloudQCScheduler)
+        assert simulator.run_batch([]) == []
+        assert simulator.run_batch([], arrival_times=[]) == []
+
+
+# ----------------------------------------------------------------------
+# Telemetry event-stream shape under lazy replay
+# ----------------------------------------------------------------------
+class TestLazyTelemetryEvents:
+    def test_tenants_flow_from_records(self):
+        events = io.StringIO()
+        run_lazy(CloudQCScheduler, telemetry=Telemetry(events=events))
+        arrived = [
+            json.loads(line)
+            for line in events.getvalue().splitlines()
+            if json.loads(line).get("event") == "job_arrived"
+        ]
+        assert [event.get("tenant") for event in arrived] == GOLDEN_TENANTS
