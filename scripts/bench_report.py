@@ -37,6 +37,15 @@ the peak-memory budget, the job-count-independence ratio between the two
 lazy legs, and bit-identical telemetry summaries between the lazy and
 upfront submission paths at the baseline scale.
 
+``--bench 8`` measures the fleet-dynamics subsystem (PR 8) by driving
+``benchmarks/test_fleet_chaos.py``: the anchor/burst trace is replayed
+through a scripted failure/drain/calibration storm under ``NeverPreempt``
+(tail unbounded) and ``DeadlineRescue`` (tail bounded), plus a fault-free
+leg that pins an attached-but-empty :class:`FaultInjector` as bit-identical
+to no injector at all.  The exit code enforces the bit-identity, that the
+storm actually unbounds the never-preempt tail, and that the rescue leg's
+drop-aware p99 JCT stays within the SLO factor of the fault-free replay.
+
 ``--events FILE.jsonl`` regenerates a stream report offline from an
 exported telemetry event stream -- no simulation at all; the sink is rebuilt
 with :meth:`Telemetry.from_events` and printed/written as a summary report.
@@ -50,6 +59,8 @@ Usage::
     PYTHONPATH=src python scripts/bench_report.py --bench 6 --jobs 5000
     PYTHONPATH=src python scripts/bench_report.py --bench 7        # BENCH_7, 1M jobs
     PYTHONPATH=src python scripts/bench_report.py --bench 7 --jobs 60000 --baseline-jobs 20000
+    PYTHONPATH=src python scripts/bench_report.py --bench 8        # BENCH_8, CI scale
+    PYTHONPATH=src python scripts/bench_report.py --bench 8 --full # 5015-job storm
     PYTHONPATH=src python scripts/bench_report.py --events run.jsonl
 
 The default scale is the CI perf-smoke trace (a handful of anchor/burst
@@ -104,6 +115,10 @@ def _load_telemetry_module():
 
 def _load_trace_module():
     return _load_benchmark_module("test_stream_trace.py", "stream_trace")
+
+
+def _load_chaos_module():
+    return _load_benchmark_module("test_fleet_chaos.py", "fleet_chaos")
 
 
 def measure_attempt_cost(hotpath, rounds: int) -> dict:
@@ -377,6 +392,52 @@ def run_bench7(args) -> tuple[dict, bool]:
     return report, report["ok"]
 
 
+def run_bench8(args) -> tuple[dict, bool]:
+    module = _load_chaos_module()
+    cycles = args.cycles or (module.CYCLES if args.full else 20)
+    fillers = args.fillers or module.FILLERS_PER_CYCLE
+    report = module.build_report(cycles, fillers)
+    report = {
+        "benchmark": "fleet-chaos",
+        "python": platform.python_version(),
+        **report,
+    }
+    never = report["chaos_never_preempt"]
+    rescue = report["chaos_deadline_rescue"]
+    fleet = report["fleet_telemetry"]
+    print(
+        f"fault-free rescue ({report['num_jobs']} jobs): "
+        f"{report['fault_free_rescue']['seconds']:.1f}s "
+        f"p99*={report['fault_free_rescue']['p99_jct_drop_aware']} "
+        f"empty-injector bit-identical={report['bit_identical']}"
+    )
+    print(
+        f"chaos never-preempt: {never['seconds']:.1f}s "
+        f"completed={never['completed']} expired={never['expired']} "
+        f"p99*={never['p99_jct_drop_aware']}"
+    )
+    print(
+        f"chaos deadline-rescue: {rescue['seconds']:.1f}s "
+        f"completed={rescue['completed']} expired={rescue['expired']} "
+        f"failed={rescue['failed']} p99*={rescue['p99_jct_drop_aware']} "
+        f"(SLO: <= {report['slo_factor']}x fault-free: "
+        f"{'ok' if report['within_slo'] else 'EXCEEDED'})"
+    )
+    print(
+        f"storm: {report['storm']['events']} events, "
+        f"fails={fleet['events']['qpu_fail']} "
+        f"drains={fleet['events']['qpu_drain']} "
+        f"calibrations={fleet['events']['calibration_start']} "
+        f"interrupted={fleet['interrupted_jobs']} "
+        f"availability={fleet['qpu_availability']}"
+    )
+    if not report["ok"]:
+        print(
+            "ERROR: bit-identity, storm impact, or chaos SLO violated"
+        )
+    return report, report["ok"]
+
+
 def run_events_report(args) -> tuple[dict, bool]:
     """Rebuild a summary offline from an exported jsonl event stream."""
     from dataclasses import asdict
@@ -417,9 +478,10 @@ def run_events_report(args) -> tuple[dict, bool]:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--bench", type=int, choices=(4, 5, 6, 7), default=4,
+        "--bench", type=int, choices=(4, 5, 6, 7, 8), default=4,
         help="which BENCH_<n>.json to produce "
-        "(4=placement, 5=preemption, 6=telemetry, 7=trace-replay)",
+        "(4=placement, 5=preemption, 6=telemetry, 7=trace-replay, "
+        "8=fleet-chaos)",
     )
     parser.add_argument("--cycles", type=int, default=None, help="anchor/burst cycles")
     parser.add_argument("--fillers", type=int, default=None, help="fillers per cycle")
@@ -459,9 +521,12 @@ def main(argv=None) -> int:
     elif args.bench == 6:
         report, ok = run_bench6(args)
         default_out = "BENCH_6.json"
-    else:
+    elif args.bench == 7:
         report, ok = run_bench7(args)
         default_out = "BENCH_7.json"
+    else:
+        report, ok = run_bench8(args)
+        default_out = "BENCH_8.json"
     out = pathlib.Path(args.out or default_out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")

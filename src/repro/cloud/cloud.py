@@ -41,11 +41,20 @@ class QuantumCloud:
         # "Placement fast path").
         self._resource_graph_cache: Optional[Tuple[int, nx.Graph]] = None
         self._available_cache: Optional[Tuple[int, Dict[int, int]]] = None
+        # Membership epoch: bumped so resource_version stays strictly
+        # increasing across fleet changes (see ``resource_version``).
+        self._version_base: int = 0
         if qpus is not None:
-            missing = set(topology.qpu_ids) - set(qpus)
-            if missing:
-                raise ValueError(f"missing QPU objects for topology nodes {missing}")
-            self.qpus: Dict[int, QPU] = {qpu_id: qpus[qpu_id] for qpu_id in topology.qpu_ids}
+            # Membership may be a *subset* of the topology (standby QPUs wait
+            # off-fleet until a join), but never reference unknown nodes.
+            unknown = set(qpus) - set(topology.qpu_ids)
+            if unknown:
+                raise ValueError(f"QPU objects for unknown topology nodes {unknown}")
+            if not qpus:
+                raise ValueError("cloud needs at least one member QPU")
+            self.qpus: Dict[int, QPU] = {
+                qpu_id: qpus[qpu_id] for qpu_id in sorted(qpus)
+            }
         else:
             self.qpus = {
                 qpu_id: QPU(
@@ -112,8 +121,16 @@ class QuantumCloud:
         caches key cloud-side results by this number: equal versions imply an
         identical availability map, so a cached ``resource_graph`` / community
         / QPU-set result may be reused verbatim.
+
+        Fleet membership changes fold in through ``_version_base``: removing
+        a QPU subtracts its counter from the sum, so without the epoch the
+        version could go *backwards* (or collide with a pre-change value
+        while the availability map differs).  ``add_qpu``/``remove_qpu``
+        advance the epoch so any fleet change strictly increases the version.
         """
-        return sum(q.computing_version for q in self.qpus.values())
+        return self._version_base + sum(
+            q.computing_version for q in self.qpus.values()
+        )
 
     def available_computing(self) -> Dict[int, int]:
         version = self.resource_version
@@ -235,6 +252,114 @@ class QuantumCloud:
             self._resource_graph_cache = graph_cache
             self._available_cache = available_cache
 
+    # ------------------------------------------------------------------
+    # Fleet membership (elastic fleet: joins, drains, failures)
+    # ------------------------------------------------------------------
+    def _bump_membership_epoch(self, version_before: int) -> None:
+        """Advance the epoch so the post-change version strictly increases."""
+        counters = sum(q.computing_version for q in self.qpus.values())
+        self._version_base = max(
+            self._version_base, version_before + 1 - counters
+        )
+        self._resource_graph_cache = None
+        self._available_cache = None
+
+    def add_qpu(self, qpu: QPU) -> None:
+        """Bring a QPU into the fleet (a join or a recovery).
+
+        The QPU id must name a node of the static topology -- the network
+        wiring of the datacenter never changes, only which QPUs are online --
+        and must not already be a member.  Strictly increases
+        :attr:`resource_version` and invalidates the placement caches.
+        """
+        if qpu.qpu_id in self.qpus:
+            raise ValueError(f"QPU {qpu.qpu_id} is already a fleet member")
+        if qpu.qpu_id not in self.topology.graph:
+            raise ValueError(
+                f"QPU {qpu.qpu_id} is not a node of the cloud topology"
+            )
+        before = self.resource_version
+        self.qpus[qpu.qpu_id] = qpu
+        self.qpus = {qpu_id: self.qpus[qpu_id] for qpu_id in sorted(self.qpus)}
+        self._bump_membership_epoch(before)
+
+    def remove_qpu(self, qpu_id: int) -> QPU:
+        """Take a QPU out of the fleet (a drain completion or a failure).
+
+        The QPU must be idle -- the caller (controller / fault layer) is
+        responsible for migrating or requeueing every job that holds qubits
+        on it first -- and must not be the last member.  Returns the removed
+        QPU so a later recovery can re-add it with the same capacities.
+        Strictly increases :attr:`resource_version`.
+        """
+        qpu = self.qpus.get(qpu_id)
+        if qpu is None:
+            raise KeyError(f"QPU {qpu_id} is not a fleet member")
+        if qpu.computing_used:
+            raise ResourceError(
+                f"QPU {qpu_id} still holds computing qubits for jobs "
+                f"{sorted(qpu.jobs)}; evict them before removal"
+            )
+        if len(self.qpus) == 1:
+            raise ValueError("cannot remove the last QPU in the fleet")
+        before = self.resource_version
+        del self.qpus[qpu_id]
+        self._bump_membership_epoch(before)
+        return qpu
+
+    @contextmanager
+    def without_qpu(self, qpu_id: int) -> Iterator["QuantumCloud"]:
+        """Temporarily hide a member QPU (drain-migration exploration).
+
+        Inside the block the QPU is not a member, so placement algorithms
+        exploring a migration target cannot land qubits on it.  The caches
+        are cleared on entry and restored on exit; the epoch is untouched, so
+        like :meth:`preview_without` this must only wrap uncommitted
+        exploration (pass ``context=None`` to placement attempts).
+        """
+        if qpu_id not in self.qpus:
+            raise KeyError(f"QPU {qpu_id} is not a fleet member")
+        qpu = self.qpus.pop(qpu_id)
+        graph_cache = self._resource_graph_cache
+        available_cache = self._available_cache
+        self._resource_graph_cache = None
+        self._available_cache = None
+        try:
+            yield self
+        finally:
+            self.qpus[qpu_id] = qpu
+            self.qpus = {
+                member: self.qpus[member] for member in sorted(self.qpus)
+            }
+            self._resource_graph_cache = graph_cache
+            self._available_cache = available_cache
+
+    # ------------------------------------------------------------------
+    # Per-QPU EPR probability (calibration windows)
+    # ------------------------------------------------------------------
+    def qpu_epr_probability(self, qpu_id: int) -> Optional[float]:
+        """Per-QPU EPR override, or ``None`` (non-members included).
+
+        ``None`` means "cloud-wide default"; off-fleet topology nodes keep
+        relaying entanglement swaps at the default (the repeater function of
+        a drained QPU stays up -- only its computing side leaves the fleet).
+        """
+        qpu = self.qpus.get(qpu_id)
+        return None if qpu is None else qpu.epr_success_probability
+
+    def set_qpu_epr_probability(
+        self, qpu_id: int, probability: Optional[float]
+    ) -> None:
+        """Set (or with ``None`` clear) a member QPU's EPR override."""
+        if probability is not None and not 0.0 < probability <= 1.0:
+            raise ValueError("EPR success probability must lie in (0, 1]")
+        qpu = self.qpus.get(qpu_id)
+        if qpu is None:
+            raise KeyError(f"QPU {qpu_id} is not a fleet member")
+        qpu.epr_success_probability = (
+            None if probability is None else float(probability)
+        )
+
     def active_jobs(self) -> List[str]:
         jobs = set()
         for qpu in self.qpus.values():
@@ -269,6 +394,9 @@ class QuantumCloud:
                 capacity=qpu.computing_capacity,
             )
         for a, b in self.topology.links():
+            if a not in self.qpus or b not in self.qpus:
+                # Links touching off-fleet nodes carry no placement value.
+                continue
             availability = (
                 self.qpus[a].computing_available + self.qpus[b].computing_available
             )
@@ -280,12 +408,14 @@ class QuantumCloud:
         return {qpu_id: qpu.snapshot() for qpu_id, qpu in self.qpus.items()}
 
     def clone_empty(self) -> "QuantumCloud":
-        """A fresh cloud with the same topology and capacities but no allocations."""
+        """A fresh cloud with the same topology, membership and capacities
+        (including per-QPU EPR overrides) but no allocations."""
         qpus = {
             qpu_id: QPU(
                 qpu_id=qpu_id,
                 computing_capacity=qpu.computing_capacity,
                 communication_capacity=qpu.communication_capacity,
+                epr_success_probability=qpu.epr_success_probability,
             )
             for qpu_id, qpu in self.qpus.items()
         }

@@ -113,6 +113,29 @@ class Controller:
         job.mark_migrated(placement, time)
 
     # ------------------------------------------------------------------
+    # Fleet transitions (drains and failures)
+    # ------------------------------------------------------------------
+    def jobs_on(self, qpu_id: int) -> List[Job]:
+        """Placed/running jobs holding computing qubits on ``qpu_id``.
+
+        The fleet layer walks this list (deterministic job-id order) when a
+        QPU drains or fails: each affected job is migrated, preempted or
+        dropped *exactly once*, after which the QPU is idle and can leave
+        the fleet (``QuantumCloud.remove_qpu`` enforces the idleness).
+        """
+        qpu = self.cloud.qpus.get(qpu_id)
+        if qpu is None:
+            return []
+        return sorted(
+            (
+                self.jobs[job_id]
+                for job_id in qpu.jobs
+                if job_id in self.jobs
+            ),
+            key=lambda job: job.job_id,
+        )
+
+    # ------------------------------------------------------------------
     # Monitoring
     # ------------------------------------------------------------------
     def pending_jobs(self) -> List[Job]:

@@ -8,7 +8,7 @@ network scheduler one EPR-generation attempt at a time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 
 class ResourceError(RuntimeError):
@@ -27,11 +27,17 @@ class QPU:
         Number of computing qubits available for circuit partitions.
     communication_capacity:
         Number of communication qubits available for EPR generation.
+    epr_success_probability:
+        Per-QPU EPR attempt success probability, or ``None`` to use the
+        cloud-wide default.  Calibration windows temporarily override it;
+        the effective probability of a link is the minimum of its two
+        endpoints' values (a degraded QPU degrades every link it serves).
     """
 
     qpu_id: int
     computing_capacity: int = 20
     communication_capacity: int = 5
+    epr_success_probability: Optional[float] = None
     _computing_used: Dict[str, int] = field(default_factory=dict, repr=False)
     _communication_used: int = field(default=0, repr=False)
     _computing_version: int = field(default=0, repr=False)
@@ -41,6 +47,10 @@ class QPU:
             raise ValueError("computing capacity must be positive")
         if self.communication_capacity < 0:
             raise ValueError("communication capacity cannot be negative")
+        if self.epr_success_probability is not None and not (
+            0.0 < self.epr_success_probability <= 1.0
+        ):
+            raise ValueError("EPR success probability must lie in (0, 1]")
 
     # ------------------------------------------------------------------
     # Computing qubits (held for the duration of a job)

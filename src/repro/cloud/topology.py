@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
@@ -178,27 +178,57 @@ class CloudTopology:
         return float(sum(degrees)) / len(degrees)
 
     def link_success_probability(
-        self, a: int, b: int, default: float
+        self,
+        a: int,
+        b: int,
+        default: float,
+        node_probability: Optional[Callable[[int], Optional[float]]] = None,
     ) -> float:
-        """EPR success probability of the direct link (a, b)."""
+        """EPR success probability of the direct link (a, b).
+
+        Resolution order: a per-link ``epr_success_probability`` attribute
+        wins; otherwise, when ``node_probability`` is given, the link runs at
+        the *minimum* of its two endpoints' per-QPU probabilities (a QPU in a
+        calibration window degrades every link it serves), each falling back
+        to ``default`` when the lookup returns ``None``.
+        """
         data = self.graph.get_edge_data(a, b)
         if data is None:
             raise TopologyError(f"no quantum link between QPU {a} and QPU {b}")
         value = data.get("epr_success_probability")
-        return default if value is None else float(value)
+        if value is not None:
+            return float(value)
+        if node_probability is None:
+            return default
+        p_a = node_probability(a)
+        p_b = node_probability(b)
+        return min(
+            default if p_a is None else float(p_a),
+            default if p_b is None else float(p_b),
+        )
 
-    def path_success_probability(self, a: int, b: int, default: float) -> float:
+    def path_success_probability(
+        self,
+        a: int,
+        b: int,
+        default: float,
+        node_probability: Optional[Callable[[int], Optional[float]]] = None,
+    ) -> float:
         """End-to-end success probability along the shortest path.
 
         Multi-hop paths need entanglement swapping at every intermediate node,
-        so the end-to-end probability is the product of per-link probabilities.
+        so the end-to-end probability is the product of per-link probabilities
+        (see :meth:`link_success_probability` for how per-QPU overrides fold
+        into each link).
         """
         if a == b:
             return 1.0
         path = self.shortest_path(a, b)
         probability = 1.0
         for u, v in zip(path, path[1:]):
-            probability *= self.link_success_probability(u, v, default)
+            probability *= self.link_success_probability(
+                u, v, default, node_probability
+            )
         return probability
 
     def to_networkx(self) -> nx.Graph:

@@ -33,10 +33,14 @@ def louvain_communities(
     if graph.number_of_nodes() == 0:
         return []
     rng = np.random.default_rng(seed)
-    # membership maps original node -> community label across aggregation levels.
-    membership: Dict[Hashable, int] = {
-        node: index for index, node in enumerate(graph.nodes())
-    }
+    # membership maps original node -> community label across aggregation
+    # levels.  Level 1's labels are the working graph's own node labels (the
+    # original nodes); later levels use the dense ids _aggregate mints.
+    # Initialising with enumeration indices instead only works when node
+    # labels happen to equal their iteration index -- it breaks (KeyError)
+    # on graphs with holes in the labelling, e.g. a resource graph after a
+    # QPU left the fleet.
+    membership: Dict[Hashable, int] = {node: node for node in graph.nodes()}
     working = _normalise(graph)
 
     for _ in range(max_levels):

@@ -45,6 +45,10 @@ class JobOutcome(str, enum.Enum):
     #: Placed at least once, evicted by a preemption policy, and never
     #: resumed before the run ended (see :mod:`repro.multitenant.preemption`).
     PREEMPTED = "preempted"
+    #: Interrupted by a QPU failure and dropped terminally by a fault
+    #: injector running in ``on_failure="drop"`` mode (see
+    #: :mod:`repro.multitenant.faults`).
+    FAILED = "failed"
 
 
 class AdmissionPolicy:

@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import math
 import os
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import (
     Dict,
@@ -73,7 +74,7 @@ from typing import (
 import numpy as np
 
 from ..circuits import QuantumCircuit
-from ..cloud import Controller, Job, JobStatus, PlacementError, QuantumCloud
+from ..cloud import QPU, Controller, Job, JobStatus, PlacementError, QuantumCloud
 from ..community import CommunityError
 from ..network import EPRModel
 from ..placement import (
@@ -94,6 +95,18 @@ from ..sim import (
 )
 from .admission import AdmissionPolicy, AdmitAll, JobOutcome
 from .batch_manager import BatchManager, priority_batch_manager
+from .faults import (
+    FLEET_TIER,
+    CalibrationWindow,
+    FaultInjector,
+    FleetEvent,
+    FleetView,
+    QPUDrain,
+    QPUFail,
+    QPUJoin,
+    ScaleDown,
+    ScaleUp,
+)
 from .preemption import (
     WORK_LOSS_MODELS,
     ClusterView,
@@ -265,8 +278,13 @@ class _EventDrivenBatch:
         self.latency = simulator.latency
         self.round_tail = self.latency.two_qubit_gate + self.latency.measurement
         self.rng = np.random.default_rng(seed)
+        # The per-QPU probability hook is live (calibration windows take
+        # effect on the next round); with no overrides set it resolves to
+        # the cloud-wide constant bit-for-bit.
         self.epr_model = EPRModel(
-            self.cloud.topology, simulator.epr_success_probability
+            self.cloud.topology,
+            simulator.epr_success_probability,
+            qpu_probability=self.cloud.qpu_epr_probability,
         )
         self.controller = Controller(self.cloud)
         self.admission = simulator.admission_policy
@@ -304,6 +322,30 @@ class _EventDrivenBatch:
         self.tick_handle: Optional[EventHandle] = None
         self.loop = EventLoop()
         self.tenants: Dict[str, object] = {}
+        # Fleet dynamics (see repro.multitenant.faults): scheduled fleet
+        # events run at FLEET_TIER (before same-instant arrivals and ticks),
+        # and an optional autoscaler is polled while the cluster is busy.
+        # With no injector attached none of this schedules anything, so the
+        # run stays bit-identical to the fault-free simulator.
+        self.faults: Optional[FaultInjector] = simulator.fault_injector
+        self._departed_capacities: Dict[int, Tuple[int, int]] = {}
+        self._calibration_restore: Dict[int, Optional[float]] = {}
+        self._submitted = 0
+        self._dropped_jobs = 0
+        self._future_arrivals = len(circuits)
+        self._stream_exhausted = False
+        self._autoscaler_handle: Optional[EventHandle] = None
+        if self.faults is not None:
+            self.faults.reset()
+            for fleet_event in self.faults.events:
+                self.loop.schedule_at(
+                    fleet_event.time,
+                    self._fleet_callback(fleet_event),
+                    label=f"fleet:{type(fleet_event).__name__}:{fleet_event.qpu_id}",
+                    tier=FLEET_TIER,
+                )
+            if self.faults.autoscaler is not None:
+                self._ensure_autoscaler(0.0)
         for index, (circuit, arrival) in enumerate(zip(circuits, arrival_times)):
             job = self.controller.submit(circuit, arrival_time=arrival)
             if tenants is not None:
@@ -332,6 +374,7 @@ class _EventDrivenBatch:
     # ------------------------------------------------------------------
     def _arrival_callback(self, job: Job):
         def on_arrival(loop: EventLoop) -> None:
+            self._future_arrivals -= 1
             self._handle_arrival(job, loop.now)
 
         return on_arrival
@@ -343,6 +386,7 @@ class _EventDrivenBatch:
         and the lazy trace cursor -- so a job admitted at time t takes the
         exact same admission/expiry/tick path regardless of how it was fed.
         """
+        self._submitted += 1
         if self.telemetry is not None:
             self.telemetry.job_arrived(
                 job.job_id,
@@ -357,6 +401,7 @@ class _EventDrivenBatch:
             # rejected job never did), so the drop cannot disturb the
             # cloud's resource version.
             self.controller.drop(job)
+            self._dropped_jobs += 1
             self._record_result(
                 self._dropped_result(job, JobOutcome.REJECTED, now)
             )
@@ -386,6 +431,8 @@ class _EventDrivenBatch:
                     )
         self.resources_changed = True
         self._request_tick(now)
+        # A fresh arrival may need the autoscaler again after an idle pause.
+        self._ensure_autoscaler(now)
 
     def _schedule_next_arrival(self) -> None:
         """Advance the pending-arrival cursor to the next trace record.
@@ -399,6 +446,7 @@ class _EventDrivenBatch:
         """
         record = next(self._records, None)
         if record is None:
+            self._stream_exhausted = True
             return
         index = self._stream_index
         self._stream_index += 1
@@ -455,6 +503,7 @@ class _EventDrivenBatch:
                 self._recompute_min_pending()
             self.failure_signatures.pop(job.job_id, None)
             self.controller.drop(job)
+            self._dropped_jobs += 1
             self._record_result(
                 self._dropped_result(job, JobOutcome.EXPIRED, loop.now)
             )
@@ -719,6 +768,7 @@ class _EventDrivenBatch:
             running=tuple(running),
             available=self.cloud.total_computing_available(),
             available_per_qpu=self.cloud.available_computing(),
+            num_qpus=self.cloud.num_qpus,
         )
 
     def _deadline_of(self, job: Job) -> Optional[float]:
@@ -749,7 +799,13 @@ class _EventDrivenBatch:
         self.failure_signatures.pop(job.job_id, None)
         self.resources_changed = True
 
-    def _attempt_migration(self, state: _ActiveJob, now: float) -> bool:
+    def _attempt_migration(
+        self,
+        state: _ActiveJob,
+        now: float,
+        exclude_qpu: Optional[int] = None,
+        require_improvement: bool = True,
+    ) -> bool:
         """Try re-placing a running job; commit only on a strict improvement.
 
         The exploratory attempt runs against a what-if view of the cloud
@@ -760,22 +816,37 @@ class _EventDrivenBatch:
         unchanged availability map is never re-explored, and it bypasses the
         shared placement context: the preview's rolled-back versions must
         never enter a version-keyed cache.
+
+        A QPU drain calls this with ``exclude_qpu`` (the draining QPU is
+        hidden from the exploration via :meth:`QuantumCloud.without_qpu`)
+        and ``require_improvement=False``: *any* feasible placement off the
+        QPU beats an eviction, and the version guard is skipped because the
+        drain explores a different universe than ordinary rebalancing.
         """
         job = state.job
         version = self.cloud.resource_version
-        if self.migration_attempt_versions.get(job.job_id) == version:
+        if (
+            exclude_qpu is None
+            and self.migration_attempt_versions.get(job.job_id) == version
+        ):
             return False
         old_qpus_used = state.placement.num_qpus_used
         seed = int(self.rng.integers(1 << 31))
-        with self.cloud.preview_without(job.job_id):
+        with ExitStack() as stack:
+            stack.enter_context(self.cloud.preview_without(job.job_id))
+            if exclude_qpu is not None:
+                stack.enter_context(self.cloud.without_qpu(exclude_qpu))
             try:
                 placement = self.simulator.placement_algorithm.place(
                     job.circuit, self.cloud, seed=seed, context=None
                 )
             except (MappingError, CommunityError, PlacementError):
                 placement = None
-        if placement is None or placement.num_qpus_used >= old_qpus_used:
-            self.migration_attempt_versions[job.job_id] = version
+        if placement is None or (
+            require_improvement and placement.num_qpus_used >= old_qpus_used
+        ):
+            if exclude_qpu is None:
+                self.migration_attempt_versions[job.job_id] = version
             return False
         progress = self.progress.setdefault(job.job_id, JobProgress())
         progress.record_stop(
@@ -791,6 +862,252 @@ class _EventDrivenBatch:
             self.telemetry.job_migrated(job.job_id, now, job.num_migrations)
         self.resources_changed = True
         return True
+
+    # ------------------------------------------------------------------
+    # Fleet dynamics (see repro.multitenant.faults)
+    # ------------------------------------------------------------------
+    def _fleet_callback(self, event: FleetEvent):
+        def on_fleet(loop: EventLoop) -> None:
+            self._handle_fleet_event(event, loop.now)
+
+        return on_fleet
+
+    def _handle_fleet_event(self, event: FleetEvent, now: float) -> None:
+        if isinstance(event, CalibrationWindow):
+            self._start_calibration(event, now)
+            return  # EPR-only change: no placement decision point needed
+        if isinstance(event, QPUJoin):
+            changed = self._join_qpu(event, now)
+        elif isinstance(event, QPUDrain):
+            changed = self._drain_qpu(event.qpu_id, now)
+        elif isinstance(event, QPUFail):
+            changed = self._fail_qpu(event.qpu_id, now)
+        else:  # pragma: no cover - defensive
+            raise ClusterSimulationError(f"unknown fleet event {event!r}")
+        if changed:
+            self.resources_changed = True
+            self._request_tick(now)
+            self._ensure_autoscaler(now)
+
+    def _join_qpu(self, event: QPUJoin, now: float) -> bool:
+        """A QPU comes online (join or recovery); idempotent for members."""
+        if event.qpu_id in self.cloud.qpus:
+            return False
+        remembered = self._departed_capacities.get(event.qpu_id)
+        computing = event.computing_capacity
+        communication = event.communication_capacity
+        if computing is None or communication is None:
+            if remembered is None:
+                raise ClusterSimulationError(
+                    f"QPU {event.qpu_id} joined without capacities and never "
+                    "left the fleet earlier in this run; spell them out"
+                )
+            computing = computing if computing is not None else remembered[0]
+            communication = (
+                communication if communication is not None else remembered[1]
+            )
+        self.cloud.add_qpu(
+            QPU(
+                qpu_id=event.qpu_id,
+                computing_capacity=computing,
+                communication_capacity=communication,
+            )
+        )
+        if self.telemetry is not None:
+            self.telemetry.qpu_joined(event.qpu_id, now)
+        return True
+
+    def _fail_qpu(self, qpu_id: int, now: float) -> bool:
+        """Abrupt failure: every job holding qubits here is interrupted.
+
+        In-flight EPR work is lost per the existing work-loss model (the
+        eviction banks ``completed_ops - in_flight_ops``, exactly like a
+        policy preemption); the jobs are then requeued or dropped terminally
+        (outcome ``failed``) per the injector's ``on_failure`` mode --
+        exactly once each.  Failing a non-member or the last fleet member is
+        a no-op (the simulator never runs on an empty cloud).
+        """
+        if qpu_id not in self.cloud.qpus or self.cloud.num_qpus == 1:
+            return False
+        # Retire jobs that already finished before the failure instant so a
+        # completed job is never counted as interrupted.
+        self._retire(now)
+        drop = self.faults.on_failure == "drop"
+        affected = self.controller.jobs_on(qpu_id)
+        if self.telemetry is not None:
+            self.telemetry.qpu_failed(qpu_id, now, interrupted=len(affected))
+        requeued: List[Job] = []
+        for job in affected:
+            state = self.active.get(job.job_id)
+            if state is None:  # pragma: no cover - defensive
+                continue
+            if drop:
+                self._fail_job(state, now)
+            else:
+                self._preempt(state, now)
+                requeued.append(job)
+        qpu = self.cloud.remove_qpu(qpu_id)
+        self._departed_capacities[qpu_id] = (
+            qpu.computing_capacity,
+            qpu.communication_capacity,
+        )
+        if requeued:
+            self._requeue(requeued)
+        return True
+
+    def _fail_job(self, state: _ActiveJob, now: float) -> None:
+        """Terminal fault drop: the job leaves with outcome ``failed``."""
+        job = state.job
+        progress = self.progress.setdefault(job.job_id, JobProgress())
+        progress.record_stop(
+            start_time=state.start_time,
+            completed_ops=state.completed_ops - state.in_flight_ops,
+            now=now,
+            resume=self.resume_work,
+        )
+        self.controller.drop(job)
+        del self.active[job.job_id]
+        self.failure_signatures.pop(job.job_id, None)
+        self.migration_attempt_versions.pop(job.job_id, None)
+        self.resources_changed = True
+        self._record_result(self._dropped_result(job, JobOutcome.FAILED, now))
+
+    def _drain_qpu(self, qpu_id: int, now: float) -> bool:
+        """Graceful decommission: migrate jobs off, requeue the rest.
+
+        Each affected job is live-migrated via :meth:`Controller.migrate`
+        onto a placement computed with the draining QPU hidden; jobs with no
+        feasible placement are preempted and requeued (keeping banked work
+        per the work-loss model).  Either way every job is handled exactly
+        once, after which the idle QPU leaves the fleet.
+        """
+        if qpu_id not in self.cloud.qpus or self.cloud.num_qpus == 1:
+            return False
+        self._retire(now)
+        affected = self.controller.jobs_on(qpu_id)
+        migrated = 0
+        requeued: List[Job] = []
+        for job in affected:
+            state = self.active.get(job.job_id)
+            if state is None:  # pragma: no cover - defensive
+                continue
+            if self._attempt_migration(
+                state, now, exclude_qpu=qpu_id, require_improvement=False
+            ):
+                migrated += 1
+            else:
+                self._preempt(state, now)
+                requeued.append(job)
+        qpu = self.cloud.remove_qpu(qpu_id)
+        self._departed_capacities[qpu_id] = (
+            qpu.computing_capacity,
+            qpu.communication_capacity,
+        )
+        if self.telemetry is not None:
+            self.telemetry.qpu_drained(
+                qpu_id, now, migrated=migrated, requeued=len(requeued)
+            )
+        if requeued:
+            self._requeue(requeued)
+        return True
+
+    def _start_calibration(self, event: CalibrationWindow, now: float) -> None:
+        """Degrade the QPU's EPR probability for the window's duration."""
+        if event.qpu_id not in self.cloud.qpus:
+            return
+        if self.telemetry is not None:
+            self.telemetry.calibration_started(
+                event.qpu_id, now, event.epr_success_probability
+            )
+        # Overlapping windows on one QPU keep the oldest saved value; both
+        # ends restore it (the second restore is a harmless no-op).
+        self._calibration_restore.setdefault(
+            event.qpu_id, self.cloud.qpu_epr_probability(event.qpu_id)
+        )
+        self.cloud.set_qpu_epr_probability(
+            event.qpu_id, event.epr_success_probability
+        )
+        self.loop.schedule_at(
+            now + event.duration,
+            self._calibration_end_callback(event.qpu_id),
+            label=f"calibration-end:{event.qpu_id}",
+            tier=FLEET_TIER,
+        )
+
+    def _calibration_end_callback(self, qpu_id: int):
+        def on_end(loop: EventLoop) -> None:
+            restore = self._calibration_restore.pop(qpu_id, None)
+            if qpu_id in self.cloud.qpus:
+                # A QPU that failed mid-window and rejoined came back with a
+                # fresh default; only a still-present member is restored.
+                self.cloud.set_qpu_epr_probability(qpu_id, restore)
+            if self.telemetry is not None:
+                self.telemetry.calibration_ended(qpu_id, loop.now)
+
+        return on_end
+
+    def _ensure_autoscaler(self, now: float) -> None:
+        """Keep exactly one autoscaler poll outstanding while work remains."""
+        if self.faults is None or self.faults.autoscaler is None:
+            return
+        handle = self._autoscaler_handle
+        if handle is not None and not handle.cancelled and not handle.executed:
+            return
+        self._autoscaler_handle = self.loop.schedule_at(
+            now + self.faults.autoscaler.interval,
+            self._autoscaler_tick,
+            label="autoscale",
+        )
+
+    def _more_arrivals(self) -> bool:
+        if self._future_arrivals > 0:
+            return True
+        return self._records is not None and not self._stream_exhausted
+
+    def _autoscaler_tick(self, loop: EventLoop) -> None:
+        """One autoscaler poll: decide from the live view, apply, reschedule.
+
+        Polling pauses once the cluster is quiescent (no actions taken, no
+        active jobs, no future arrivals): the decision is a deterministic
+        function of a then-static view, so a further poll could not differ.
+        An arrival or fleet event restarts the polling.
+        """
+        self._autoscaler_handle = None
+        scaler = self.faults.autoscaler
+        now = loop.now
+        view = FleetView(
+            now=now,
+            queue_depth=len(self.pending),
+            available_qubits=self.cloud.total_computing_available(),
+            total_capacity=self.cloud.total_computing_capacity(),
+            online_qpus=tuple(self.cloud.qpu_ids),
+            submitted=self._submitted,
+            dropped=self._dropped_jobs,
+        )
+        actions = scaler.decide(view)
+        changed = False
+        for action in actions:
+            if isinstance(action, ScaleUp):
+                if action.qpu_id not in self.cloud.qpus:
+                    self.cloud.add_qpu(
+                        QPU(
+                            qpu_id=action.qpu_id,
+                            computing_capacity=action.computing_capacity,
+                            communication_capacity=action.communication_capacity,
+                        )
+                    )
+                    if self.telemetry is not None:
+                        self.telemetry.qpu_joined(action.qpu_id, now)
+                    changed = True
+            elif isinstance(action, ScaleDown):
+                changed = self._drain_qpu(action.qpu_id, now) or changed
+        if changed:
+            self.resources_changed = True
+            self._request_tick(now)
+        if changed or self.active or self._more_arrivals() or (
+            self.pending and actions
+        ):
+            self._ensure_autoscaler(now)
 
     def _start_round(self, loop: EventLoop, runnable: Sequence[_ActiveJob]) -> None:
         """Allocate communication qubits, sample this round's EPR successes."""
@@ -865,7 +1182,10 @@ class _EventDrivenBatch:
         wasted_time = progress.wasted_time if progress else 0.0
         wasted_ops = progress.wasted_ops if progress else 0
         placement_time = math.nan
-        if outcome is JobOutcome.PREEMPTED and progress is not None:
+        if (
+            outcome in (JobOutcome.PREEMPTED, JobOutcome.FAILED)
+            and progress is not None
+        ):
             # The job did run: report its first placement, and everything it
             # ever executed is lost work (including banked resume credit).
             if progress.first_placement_time is not None:
@@ -967,6 +1287,7 @@ class MultiTenantSimulator:
         incremental_placement: bool = True,
         preemption_policy: Optional[PreemptionPolicy] = None,
         work_loss: str = "resume",
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.template_cloud = cloud
         self.placement_algorithm = placement_algorithm
@@ -985,6 +1306,14 @@ class MultiTenantSimulator:
                 f"work_loss must be one of {WORK_LOSS_MODELS}, got {work_loss!r}"
             )
         self.work_loss = work_loss
+        # Fleet dynamics (see repro.multitenant.faults): an optional
+        # FaultInjector schedules QPU joins/drains/failures and calibration
+        # windows into every run, plus an autoscaler polled under load.
+        # fault_injector=None (the default) keeps runs bit-identical to the
+        # static-fleet simulator.  Chaos runs should pair the injector with
+        # a queueing-deadline admission policy: a job whose capacity never
+        # comes back then expires instead of stalling the run.
+        self.fault_injector = fault_injector
         # The placement fast path: memoize placement inputs across attempts
         # and skip re-attempts whose failure signature is unchanged.  Off, the
         # simulator recomputes every attempt from scratch (the pre-fast-path

@@ -313,6 +313,9 @@ class StreamSummary:
     completion: CompletionStats
     max_queue_depth: int
     preemption: PreemptionStats
+    #: Jobs dropped terminally by a QPU failure (fault injector running in
+    #: ``on_failure="drop"`` mode); 0 in fault-free runs.
+    failed: int = 0
 
     @classmethod
     def from_results(cls, results: Sequence) -> "StreamSummary":
@@ -323,6 +326,7 @@ class StreamSummary:
             completed=counts[JobOutcome.COMPLETED.value],
             rejected=counts[JobOutcome.REJECTED.value],
             expired=counts[JobOutcome.EXPIRED.value],
+            failed=counts[JobOutcome.FAILED.value],
             rejection_rate=rejection_rate(results),
             queueing=QueueingDelayStats.from_results(results),
             completion=CompletionStats.from_times(jct),

@@ -118,6 +118,12 @@ class ClusterView:
 
     ``pending`` is in batch-manager order (highest placement priority
     first); ``running`` is in deterministic job-id order.
+
+    ``num_qpus`` is the *online* fleet size at the decision point: with a
+    fault injector attached (:mod:`repro.multitenant.faults`) the fleet
+    churns mid-run, so churn-aware policies should read fleet size from the
+    view rather than caching it at construction.  It defaults to
+    ``len(available_per_qpu)`` so hand-built views stay consistent.
     """
 
     now: float
@@ -125,6 +131,11 @@ class ClusterView:
     running: Tuple[RunningJobView, ...]
     available: int
     available_per_qpu: Mapping[int, int]
+    num_qpus: int = -1
+
+    def __post_init__(self) -> None:
+        if self.num_qpus < 0:
+            object.__setattr__(self, "num_qpus", len(self.available_per_qpu))
 
 
 # ----------------------------------------------------------------------

@@ -37,9 +37,10 @@ Event schema (one JSON object per line; field order not significant)::
 
     event        one of job_arrived / admitted / rejected / placed /
                  preempted / requeued / migrated / completed / expired /
-                 stranded
+                 stranded / failed / qpu_join / qpu_drain / qpu_fail /
+                 calibration_start / calibration_end
     t            simulation time of the transition
-    job          job id
+    job          job id (absent on fleet events, which carry ``qpu``)
 
     job_arrived  + circuit, qubits[, tenant]
     admitted     + depth               (queue depth after the transition)
@@ -52,10 +53,22 @@ Event schema (one JSON object per line; field order not significant)::
     completed    + jct, wait, qpus_used, n_preempt, n_migrate, wasted_time,
                    wasted_ops
     stranded     + depth, wasted_time, wasted_ops, n_preempt, n_migrate
+    failed       + wait, wasted_time, wasted_ops, n_preempt, n_migrate
 
-Terminal events (rejected / expired / completed / stranded) additionally
-carry ``tenant`` when the run was given tenant ids.  ``stranded`` reports
-jobs whose run *ended* in the preempted state (``outcome="preempted"``).
+    qpu_join           + qpu          (a QPU entered or re-entered the fleet)
+    qpu_fail           + qpu, interrupted   (jobs holding qubits there)
+    qpu_drain          + qpu, migrated, requeued
+    calibration_start  + qpu, epr     (the temporary EPR success probability)
+    calibration_end    + qpu
+
+Terminal events (rejected / expired / completed / stranded / failed)
+additionally carry ``tenant`` when the run was given tenant ids.
+``stranded`` reports jobs whose run *ended* in the preempted state
+(``outcome="preempted"``); ``failed`` reports jobs dropped terminally by a
+QPU failure under a fault injector's ``on_failure="drop"`` mode (see
+:mod:`repro.multitenant.faults`).  Fleet events carry a ``qpu`` id and no
+``job`` field; the sink folds them into per-QPU downtime / availability
+and interrupted-job counters (:meth:`Telemetry.qpu_availability`).
 See ``docs/architecture.md`` ("Telemetry & observability") for the memory
 model and the exact-vs-sketch guarantees.
 """
@@ -82,6 +95,21 @@ TELEMETRY_EVENTS: Tuple[str, ...] = (
     "completed",
     "expired",
     "stranded",
+    "failed",
+    "qpu_join",
+    "qpu_drain",
+    "qpu_fail",
+    "calibration_start",
+    "calibration_end",
+)
+
+#: The fleet-dynamics subset of :data:`TELEMETRY_EVENTS` (no ``job`` field).
+FLEET_TELEMETRY_EVENTS: Tuple[str, ...] = (
+    "qpu_join",
+    "qpu_drain",
+    "qpu_fail",
+    "calibration_start",
+    "calibration_end",
 )
 
 
@@ -352,6 +380,14 @@ class Telemetry:
         self.stranded = 0
         self.wasted_time = 0.0
         self.wasted_ops = 0
+        self.fleet_events: Dict[str, int] = {
+            event: 0 for event in FLEET_TELEMETRY_EVENTS
+        }
+        self.interrupted_jobs = 0
+        self.fleet_migrated = 0
+        self.fleet_requeued = 0
+        self.qpu_downtime: Dict[int, float] = {}
+        self._offline_since: Dict[int, float] = {}
         self.depth = 0
         self._series = _DepthSeries(queue_depth_capacity)
         self._stream: Optional[IO[str]] = None
@@ -366,10 +402,14 @@ class Telemetry:
     # ------------------------------------------------------------------
     # Event stream plumbing
     # ------------------------------------------------------------------
-    def _emit(self, event: str, time: float, job_id: str, **fields) -> None:
+    def _emit(
+        self, event: str, time: float, job_id: Optional[str] = None, **fields
+    ) -> None:
         if self._stream is None:
             return
-        record = {"event": event, "t": time, "job": job_id}
+        record = {"event": event, "t": time}
+        if job_id is not None:
+            record["job"] = job_id
         for key, value in fields.items():
             if value is not None:
                 record[key] = value
@@ -440,6 +480,72 @@ class Telemetry:
 
     def job_migrated(self, job_id: str, time: float, count: int = 1) -> None:
         self._emit("migrated", time, job_id, n=count)
+
+    # ------------------------------------------------------------------
+    # Fleet-dynamics hooks (called by the fault layer, in simulation order)
+    # ------------------------------------------------------------------
+    def qpu_joined(self, qpu_id: int, time: float) -> None:
+        """A QPU entered (or re-entered) the fleet; closes any open outage."""
+        self.fleet_events["qpu_join"] += 1
+        went_offline = self._offline_since.pop(qpu_id, None)
+        if went_offline is not None:
+            self.qpu_downtime[qpu_id] = self.qpu_downtime.get(qpu_id, 0.0) + (
+                time - went_offline
+            )
+        self._emit("qpu_join", time, qpu=qpu_id)
+
+    def qpu_failed(self, qpu_id: int, time: float, interrupted: int = 0) -> None:
+        """Abrupt failure; ``interrupted`` jobs held qubits there."""
+        self.fleet_events["qpu_fail"] += 1
+        self.interrupted_jobs += interrupted
+        self._offline_since.setdefault(qpu_id, time)
+        self._emit("qpu_fail", time, qpu=qpu_id, interrupted=interrupted)
+
+    def qpu_drained(
+        self, qpu_id: int, time: float, migrated: int = 0, requeued: int = 0
+    ) -> None:
+        """Graceful decommission: jobs live-migrated off or requeued."""
+        self.fleet_events["qpu_drain"] += 1
+        self.fleet_migrated += migrated
+        self.fleet_requeued += requeued
+        self._offline_since.setdefault(qpu_id, time)
+        self._emit(
+            "qpu_drain", time, qpu=qpu_id, migrated=migrated, requeued=requeued
+        )
+
+    def calibration_started(
+        self,
+        qpu_id: int,
+        time: float,
+        epr_success_probability: Optional[float] = None,
+    ) -> None:
+        """A calibration window degraded the QPU's EPR success probability."""
+        self.fleet_events["calibration_start"] += 1
+        self._emit(
+            "calibration_start", time, qpu=qpu_id, epr=epr_success_probability
+        )
+
+    def calibration_ended(self, qpu_id: int, time: float) -> None:
+        self.fleet_events["calibration_end"] += 1
+        self._emit("calibration_end", time, qpu=qpu_id)
+
+    def qpu_availability(self, horizon: float) -> Dict[int, float]:
+        """Fraction of ``[0, horizon]`` each fault-affected QPU spent online.
+
+        Only QPUs that failed or drained at least once appear (a QPU no
+        fleet event ever touched was trivially 100% available); an outage
+        still open at ``horizon`` is counted up to ``horizon``.
+        """
+        if not math.isfinite(horizon) or horizon <= 0.0:
+            raise ValueError(f"horizon must be positive and finite, got {horizon}")
+        availability: Dict[int, float] = {}
+        for qpu_id in sorted(set(self.qpu_downtime) | set(self._offline_since)):
+            down = self.qpu_downtime.get(qpu_id, 0.0)
+            went_offline = self._offline_since.get(qpu_id)
+            if went_offline is not None:
+                down += max(0.0, horizon - went_offline)
+            availability[qpu_id] = max(0.0, 1.0 - down / horizon)
+        return availability
 
     def record_result(
         self,
@@ -529,6 +635,17 @@ class Telemetry:
                 depth=self.depth, wait=wait, tenant=tenant,
             )
             return
+        if outcome is JobOutcome.FAILED:
+            # The job was placed/running when its QPU failed, so it holds no
+            # pending-queue slot: the depth is unchanged, and everything it
+            # executed is already folded into the wasted-work totals above.
+            when = dropped_time if time is None else time
+            self._emit(
+                "failed", when, job_id,
+                wait=wait, wasted_time=wasted_time, wasted_ops=wasted_ops,
+                n_preempt=preemptions, n_migrate=migrations, tenant=tenant,
+            )
+            return
         # outcome is PREEMPTED: the job ended the run evicted and pending.
         self.stranded += 1
         self.depth -= 1
@@ -611,6 +728,7 @@ class Telemetry:
             completed=self.completed,
             rejected=self.outcome_counts[JobOutcome.REJECTED.value],
             expired=self.outcome_counts[JobOutcome.EXPIRED.value],
+            failed=self.outcome_counts[JobOutcome.FAILED.value],
             rejection_rate=self.rejection_rate,
             queueing=QueueingDelayStats(
                 count=delay.count,
@@ -688,12 +806,29 @@ class Telemetry:
             self.job_requeued(job_id, time)
         elif event == "migrated":
             self.job_migrated(job_id, time, count=record.get("n", 1))
+        elif event == "qpu_join":
+            self.qpu_joined(record.get("qpu"), time)
+        elif event == "qpu_fail":
+            self.qpu_failed(
+                record.get("qpu"), time, interrupted=record.get("interrupted", 0)
+            )
+        elif event == "qpu_drain":
+            self.qpu_drained(
+                record.get("qpu"), time,
+                migrated=record.get("migrated", 0),
+                requeued=record.get("requeued", 0),
+            )
+        elif event == "calibration_start":
+            self.calibration_started(record.get("qpu"), time, record.get("epr"))
+        elif event == "calibration_end":
+            self.calibration_ended(record.get("qpu"), time)
         else:
             outcome = {
                 "completed": JobOutcome.COMPLETED,
                 "rejected": JobOutcome.REJECTED,
                 "expired": JobOutcome.EXPIRED,
                 "stranded": JobOutcome.PREEMPTED,
+                "failed": JobOutcome.FAILED,
             }[event]
             self._terminal(
                 outcome=outcome,

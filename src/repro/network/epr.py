@@ -10,7 +10,7 @@ probability is the product of the per-hop probabilities.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -19,10 +19,19 @@ from ..cloud import CloudTopology
 
 @dataclass(frozen=True)
 class EPRModel:
-    """End-to-end EPR generation statistics for a cloud topology."""
+    """End-to-end EPR generation statistics for a cloud topology.
+
+    ``qpu_probability``, when given, is consulted *per sample* for a per-QPU
+    success-probability override (``None`` -> use ``success_probability``);
+    a link without a per-link attribute then runs at the minimum of its
+    endpoints' values.  The lookup is live, so calibration windows that
+    degrade a QPU mid-run take effect on the next round.  With no overrides
+    set the model is bit-identical to the plain cloud-wide constant.
+    """
 
     topology: CloudTopology
     success_probability: float = 0.3
+    qpu_probability: Optional[Callable[[int], Optional[float]]] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.success_probability <= 1.0:
@@ -33,7 +42,7 @@ class EPRModel:
         if qpu_a == qpu_b:
             return 1.0
         return self.topology.path_success_probability(
-            qpu_a, qpu_b, self.success_probability
+            qpu_a, qpu_b, self.success_probability, self.qpu_probability
         )
 
     def round_success_probability(

@@ -17,12 +17,18 @@ class TestConstruction:
         with pytest.raises(ValueError):
             QuantumCloud(CloudTopology.line(2), epr_success_probability=0.0)
 
-    def test_custom_qpus_must_cover_topology(self):
+    def test_custom_qpus_may_be_topology_subset(self):
+        # Membership may cover only part of the wiring (standby QPUs wait
+        # off-fleet for a join), but never reference unknown nodes.
         from repro.cloud import QPU
 
         topology = CloudTopology.line(3)
+        cloud = QuantumCloud(topology, qpus={0: QPU(0), 1: QPU(1)})
+        assert cloud.qpu_ids == [0, 1]
         with pytest.raises(ValueError):
-            QuantumCloud(topology, qpus={0: QPU(0), 1: QPU(1)})
+            QuantumCloud(topology, qpus={0: QPU(0), 5: QPU(5)})
+        with pytest.raises(ValueError):
+            QuantumCloud(topology, qpus={})
 
 
 class TestCapacityQueries:
@@ -142,3 +148,92 @@ class TestPreviewWithout:
         with small_cloud.preview_without("ghost"):
             assert small_cloud.resource_version == version
         assert small_cloud.resource_version == version
+
+
+class TestFleetMembership:
+    def test_remove_then_readd_strictly_increases_version(self, small_cloud):
+        # Regression: resource_version was a pure sum of per-QPU counters, so
+        # removing a QPU and adding it back returned to the pre-change value
+        # and stale placement caches looked valid.  The membership epoch
+        # keeps the version strictly increasing across fleet changes.
+        v0 = small_cloud.resource_version
+        qpu = small_cloud.remove_qpu(3)
+        v1 = small_cloud.resource_version
+        assert v1 > v0
+        small_cloud.add_qpu(qpu)
+        v2 = small_cloud.resource_version
+        assert v2 > v1
+        assert small_cloud.qpu_ids == [0, 1, 2, 3]
+
+    def test_membership_change_invalidates_resource_graph(self, small_cloud):
+        graph = small_cloud.resource_graph()
+        assert 3 in graph
+        removed = small_cloud.remove_qpu(3)
+        shrunk = small_cloud.resource_graph()
+        assert 3 not in shrunk
+        assert not any(3 in edge for edge in shrunk.edges())
+        small_cloud.add_qpu(removed)
+        assert 3 in small_cloud.resource_graph()
+
+    def test_add_rejects_member_and_unknown_node(self, small_cloud):
+        from repro.cloud import QPU
+
+        with pytest.raises(ValueError):
+            small_cloud.add_qpu(QPU(0))
+        with pytest.raises(ValueError):
+            small_cloud.add_qpu(QPU(99))
+
+    def test_remove_guards(self, small_cloud):
+        from repro.cloud import ResourceError
+
+        with pytest.raises(KeyError):
+            small_cloud.remove_qpu(99)
+        small_cloud.admit("job-a", {0: 2, 1: 2})
+        with pytest.raises(ResourceError):
+            small_cloud.remove_qpu(2)
+        small_cloud.release("job-a")
+        for qpu_id in (0, 1, 2):
+            small_cloud.remove_qpu(qpu_id)
+        with pytest.raises(ValueError):
+            small_cloud.remove_qpu(3)  # never below one member
+
+    def test_without_qpu_hides_and_restores(self, small_cloud):
+        version = small_cloud.resource_version
+        with small_cloud.without_qpu(2):
+            assert small_cloud.qpu_ids == [0, 1, 3]
+            assert 2 not in small_cloud.resource_graph()
+        assert small_cloud.qpu_ids == [0, 1, 2, 3]
+        assert small_cloud.resource_version == version
+        assert 2 in small_cloud.resource_graph()
+
+
+class TestPerQPUEprProbability:
+    def test_set_get_and_clear(self, small_cloud):
+        assert small_cloud.qpu_epr_probability(0) is None
+        small_cloud.set_qpu_epr_probability(0, 0.05)
+        assert small_cloud.qpu_epr_probability(0) == 0.05
+        small_cloud.set_qpu_epr_probability(0, None)
+        assert small_cloud.qpu_epr_probability(0) is None
+
+    def test_validation(self, small_cloud):
+        with pytest.raises(ValueError):
+            small_cloud.set_qpu_epr_probability(0, 0.0)
+        with pytest.raises(ValueError):
+            small_cloud.set_qpu_epr_probability(0, 1.5)
+        with pytest.raises(KeyError):
+            small_cloud.set_qpu_epr_probability(99, 0.5)
+        assert small_cloud.qpu_epr_probability(99) is None
+
+    def test_link_probability_takes_endpoint_minimum(self, small_cloud):
+        topology = small_cloud.topology
+        default = small_cloud.epr_success_probability
+        assert topology.link_success_probability(
+            0, 1, default, small_cloud.qpu_epr_probability
+        ) == pytest.approx(default)
+        small_cloud.set_qpu_epr_probability(1, 0.05)
+        assert topology.link_success_probability(
+            0, 1, default, small_cloud.qpu_epr_probability
+        ) == pytest.approx(0.05)
+        assert topology.link_success_probability(
+            2, 3, default, small_cloud.qpu_epr_probability
+        ) == pytest.approx(default)

@@ -88,6 +88,21 @@ class TestDetection:
     def test_louvain_empty_graph(self):
         assert louvain_communities(nx.Graph()) == []
 
+    def test_louvain_non_contiguous_node_labels(self):
+        # Regression: a graph whose labels have holes (node 0 missing, as in
+        # a resource graph after a QPU left the fleet) used to KeyError when
+        # level 1 merged communities, because the membership map was seeded
+        # with enumeration indices instead of node labels.
+        graph = nx.Graph()
+        graph.add_edge(1, 2, weight=3.0)
+        graph.add_edge(2, 3, weight=3.0)
+        graph.add_edge(1, 3, weight=3.0)
+        graph.add_edge(3, 7, weight=0.1)
+        graph.add_edge(7, 8, weight=3.0)
+        communities = louvain_communities(graph, seed=1)
+        assert set().union(*communities) == {1, 2, 3, 7, 8}
+        assert {1, 2, 3} in communities
+
     def test_best_partition_assignment_covers_graph(self):
         graph = two_cliques()
         assignment = best_partition(graph, seed=1)

@@ -141,6 +141,7 @@ class TestStreamMetrics:
             "rejected": 1,
             "expired": 1,
             "preempted": 0,
+            "failed": 0,
         }
         assert rejection_rate(results) == pytest.approx(0.5)
 
