@@ -46,6 +46,16 @@ to no injector at all.  The exit code enforces the bit-identity, that the
 storm actually unbounds the never-preempt tail, and that the rescue leg's
 drop-aware p99 JCT stays within the SLO factor of the fault-free replay.
 
+``--bench 9`` measures the checkpoint/restore subsystem (PR 9) by driving
+``benchmarks/test_checkpoint_overhead.py``: the BENCH_8 anchor/burst storm
+replay is run plain and with ``checkpoint=CheckpointConfig(every_jobs=...)``
+(interleaved, best-of-3), then resumed from its last periodic snapshot.
+The exit code enforces the wall-clock overhead budget (5% at the
+``--full`` acceptance cadence; the seconds-long CI smoke trace is
+dominated by the fixed per-snapshot fsync floor, so it is held to a looser
+sanity bound) and bit-identity of both the checkpointed run and the
+resumed tail; the report records the snapshot size and cadence.
+
 ``--events FILE.jsonl`` regenerates a stream report offline from an
 exported telemetry event stream -- no simulation at all; the sink is rebuilt
 with :meth:`Telemetry.from_events` and printed/written as a summary report.
@@ -61,6 +71,8 @@ Usage::
     PYTHONPATH=src python scripts/bench_report.py --bench 7 --jobs 60000 --baseline-jobs 20000
     PYTHONPATH=src python scripts/bench_report.py --bench 8        # BENCH_8, CI scale
     PYTHONPATH=src python scripts/bench_report.py --bench 8 --full # 5015-job storm
+    PYTHONPATH=src python scripts/bench_report.py --bench 9        # BENCH_9, CI scale
+    PYTHONPATH=src python scripts/bench_report.py --bench 9 --full # 5015 jobs, every 500
     PYTHONPATH=src python scripts/bench_report.py --events run.jsonl
 
 The default scale is the CI perf-smoke trace (a handful of anchor/burst
@@ -119,6 +131,12 @@ def _load_trace_module():
 
 def _load_chaos_module():
     return _load_benchmark_module("test_fleet_chaos.py", "fleet_chaos")
+
+
+def _load_checkpoint_module():
+    return _load_benchmark_module(
+        "test_checkpoint_overhead.py", "checkpoint_overhead"
+    )
 
 
 def measure_attempt_cost(hotpath, rounds: int) -> dict:
@@ -438,6 +456,49 @@ def run_bench8(args) -> tuple[dict, bool]:
     return report, report["ok"]
 
 
+def run_bench9(args) -> tuple[dict, bool]:
+    module = _load_checkpoint_module()
+    cycles = args.cycles or (module.CYCLES if args.full else 20)
+    fillers = args.fillers or module.FILLERS_PER_CYCLE
+    # The acceptance cadence is one snapshot per 500 finished jobs; the CI
+    # smoke trace is shorter than that, so scale the cadence to keep the
+    # same snapshot density (~10 per run) unless overridden.
+    num_jobs = cycles * (1 + fillers)
+    every_jobs = args.every_jobs or (
+        module.EVERY_JOBS if args.full else max(1, num_jobs // 10)
+    )
+    # The 5% budget is an amortized claim -- the fixed per-snapshot fsync
+    # floor only washes out on the 30s+ acceptance replay, so the smoke
+    # trace is held to a sanity bound instead (see SMOKE_OVERHEAD_BUDGET).
+    budget = module.OVERHEAD_BUDGET if args.full else module.SMOKE_OVERHEAD_BUDGET
+    report = module.build_report(
+        cycles, fillers, every_jobs=every_jobs, overhead_budget=budget
+    )
+    report = {
+        "benchmark": "checkpoint-resume",
+        "python": platform.python_version(),
+        **report,
+    }
+    print(
+        f"plain ({report['num_jobs']} jobs): {report['plain_seconds']:.2f}s; "
+        f"checkpointed (every {report['every_jobs']} jobs): "
+        f"{report['checkpointed_seconds']:.2f}s "
+        f"({report['overhead_fraction'] * 100:+.1f}%, budget "
+        f"{report['overhead_budget'] * 100:.0f}%: "
+        f"{'ok' if report['within_budget'] else 'EXCEEDED'})"
+    )
+    print(
+        f"snapshots: {report['snapshots_per_run']} per run, "
+        f"{report['snapshot_bytes']} bytes each; resume replayed the tail "
+        f"in {report['resume_seconds']:.2f}s "
+        f"(bit-identical={report['bit_identical']}, "
+        f"resume-identical={report['resume_identical']})"
+    )
+    if not report["ok"]:
+        print("ERROR: overhead budget or bit-identity violated")
+    return report, report["ok"]
+
+
 def run_events_report(args) -> tuple[dict, bool]:
     """Rebuild a summary offline from an exported jsonl event stream."""
     from dataclasses import asdict
@@ -478,10 +539,10 @@ def run_events_report(args) -> tuple[dict, bool]:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--bench", type=int, choices=(4, 5, 6, 7, 8), default=4,
+        "--bench", type=int, choices=(4, 5, 6, 7, 8, 9), default=4,
         help="which BENCH_<n>.json to produce "
         "(4=placement, 5=preemption, 6=telemetry, 7=trace-replay, "
-        "8=fleet-chaos)",
+        "8=fleet-chaos, 9=checkpoint-resume)",
     )
     parser.add_argument("--cycles", type=int, default=None, help="anchor/burst cycles")
     parser.add_argument("--fillers", type=int, default=None, help="fillers per cycle")
@@ -494,6 +555,11 @@ def main(argv=None) -> int:
         "--baseline-jobs", type=int, default=None,
         help="bench 7 baseline trace length for the peak-ratio check "
         "(default: the 100k acceptance scale)",
+    )
+    parser.add_argument(
+        "--every-jobs", type=int, default=None,
+        help="bench 9 snapshot cadence (default: 500 at --full, scaled to "
+        "~10 snapshots per run at the CI smoke scale)",
     )
     parser.add_argument(
         "--events", default=None, metavar="FILE.jsonl",
@@ -524,9 +590,12 @@ def main(argv=None) -> int:
     elif args.bench == 7:
         report, ok = run_bench7(args)
         default_out = "BENCH_7.json"
-    else:
+    elif args.bench == 8:
         report, ok = run_bench8(args)
         default_out = "BENCH_8.json"
+    else:
+        report, ok = run_bench9(args)
+        default_out = "BENCH_9.json"
     out = pathlib.Path(args.out or default_out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from ..cloud import Job
 
@@ -79,6 +79,18 @@ class AdmissionPolicy:
     def queueing_deadline(self, job: Job) -> Optional[float]:
         """Absolute time at which a still-pending ``job`` expires, or None."""
         return None
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """Json-serializable per-run state for a checkpoint snapshot.
+
+        Stateless policies (the base) return ``{}``; stateful ones (e.g.
+        :class:`TokenBucket`) must capture everything :meth:`reset` clears,
+        so a resumed run continues the stream bit-identically.
+        """
+        return {}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`checkpoint_state` output (after :meth:`reset`)."""
 
 
 class AdmitAll(AdmissionPolicy):
@@ -136,6 +148,13 @@ class TokenBucket(AdmissionPolicy):
     def reset(self) -> None:
         self._tokens = self.capacity
         self._last_refill = 0.0
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        return {"tokens": self._tokens, "last_refill": self._last_refill}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._tokens = float(state["tokens"])
+        self._last_refill = float(state["last_refill"])
 
     def admit(self, job: Job, now: float, queue_depth: int) -> bool:
         elapsed = max(0.0, now - self._last_refill)

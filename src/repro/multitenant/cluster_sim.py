@@ -57,9 +57,11 @@ from __future__ import annotations
 
 import math
 import os
+import signal
 from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import (
+    Any,
     Dict,
     Iterable,
     Iterator,
@@ -75,6 +77,7 @@ import numpy as np
 
 from ..circuits import QuantumCircuit
 from ..cloud import QPU, Controller, Job, JobStatus, PlacementError, QuantumCloud
+from ..cloud.job import job_counter_state, set_job_counter
 from ..community import CommunityError
 from ..network import EPRModel
 from ..placement import (
@@ -95,6 +98,13 @@ from ..sim import (
 )
 from .admission import AdmissionPolicy, AdmitAll, JobOutcome
 from .batch_manager import BatchManager, priority_batch_manager
+from .checkpoint import (
+    CheckpointConfig,
+    CheckpointError,
+    check_fingerprint,
+    read_snapshot,
+    write_snapshot,
+)
 from .faults import (
     FLEET_TIER,
     CalibrationWindow,
@@ -117,7 +127,7 @@ from .preemption import (
     PreemptionPolicy,
     RunningJobView,
 )
-from .trace import TraceReader, TraceRecord
+from .trace import TraceCursor, TraceReader, TraceRecord, cached_circuit
 
 #: Event-loop tier of job-arrival events (see :meth:`EventLoop.schedule`).
 #: Arrivals run before any same-timestamp tick/expiry/round-end event in
@@ -132,6 +142,11 @@ ARRIVAL_TIER = -1
 
 class ClusterSimulationError(RuntimeError):
     """Raised when the multi-tenant simulation cannot make progress."""
+
+
+#: Sentinel for :meth:`MultiTenantSimulator.resume_stream`'s ``checkpoint``
+#: parameter: "keep checkpointing exactly as the snapshotted run did".
+_INHERIT_CHECKPOINT = object()
 
 
 @dataclass
@@ -266,6 +281,9 @@ class _EventDrivenBatch:
         keep_results: bool = True,
         tenants: Optional[Sequence] = None,
         record_stream: Optional[Iterator[TraceRecord]] = None,
+        checkpoint: Optional[CheckpointConfig] = None,
+        trace_info: Optional[Dict[str, Any]] = None,
+        restoring: bool = False,
     ) -> None:
         self.simulator = simulator
         # Streaming telemetry (see repro.multitenant.telemetry): the sink is
@@ -274,6 +292,29 @@ class _EventDrivenBatch:
         # skips every hook with a single None check.
         self.telemetry = telemetry
         self.keep_results = keep_results
+        # Checkpointing (see repro.multitenant.checkpoint): snapshots are
+        # taken only *between* events, so arming it adds no events to the
+        # queue and checkpoint=None keeps the run bit-identical.
+        self._seed = seed
+        self._checkpoint = checkpoint
+        self._trace_info = trace_info
+        self._restored = restoring
+        self._pending_record: Optional[Dict[str, Any]] = None
+        self._results_recorded = 0
+        self._signal_flag: Optional[int] = None
+        # Capture caches: a COMPLETED job and a recorded result are frozen,
+        # so repeated snapshots reuse their captured form instead of
+        # re-serializing every finished job (on a long keep_results=True
+        # run each snapshot would otherwise cost O(finished jobs)).
+        self._job_capture_cache: Dict[str, Dict[str, Any]] = {}
+        self._captured_results: List[Dict[str, Any]] = []
+        if checkpoint is not None and telemetry is not None:
+            if telemetry._stream is not None and telemetry._events_path is None:
+                raise CheckpointError(
+                    "checkpointed runs need the telemetry event stream to be "
+                    "a path (events='events.jsonl') or disabled; a caller-"
+                    "owned file object cannot be re-opened on resume"
+                )
         self.cloud = simulator.template_cloud.clone_empty()
         self.latency = simulator.latency
         self.round_tail = self.latency.two_qubit_gate + self.latency.measurement
@@ -337,15 +378,22 @@ class _EventDrivenBatch:
         self._autoscaler_handle: Optional[EventHandle] = None
         if self.faults is not None:
             self.faults.reset()
-            for fleet_event in self.faults.events:
-                self.loop.schedule_at(
-                    fleet_event.time,
-                    self._fleet_callback(fleet_event),
-                    label=f"fleet:{type(fleet_event).__name__}:{fleet_event.qpu_id}",
-                    tier=FLEET_TIER,
-                )
-            if self.faults.autoscaler is not None:
-                self._ensure_autoscaler(0.0)
+            if not restoring:
+                # The schedule index in the label lets a checkpoint restore
+                # re-bind each event to self.faults.events[index] even when
+                # two events share a type, QPU and instant.
+                for index, fleet_event in enumerate(self.faults.events):
+                    self.loop.schedule_at(
+                        fleet_event.time,
+                        self._fleet_callback(fleet_event),
+                        label=(
+                            f"fleet:{index}:{type(fleet_event).__name__}:"
+                            f"{fleet_event.qpu_id}"
+                        ),
+                        tier=FLEET_TIER,
+                    )
+                if self.faults.autoscaler is not None:
+                    self._ensure_autoscaler(0.0)
         for index, (circuit, arrival) in enumerate(zip(circuits, arrival_times)):
             job = self.controller.submit(circuit, arrival_time=arrival)
             if tenants is not None:
@@ -363,6 +411,9 @@ class _EventDrivenBatch:
         # normal arrival logic, and schedules the cursor for the next
         # record.  Peak memory is then O(in-flight jobs), not O(trace).
         self._records = iter(record_stream) if record_stream is not None else None
+        self._trace_cursor = (
+            record_stream if isinstance(record_stream, TraceCursor) else None
+        )
         self._stream_index = 0
         self._last_stream_arrival: Optional[float] = None
         self._stream_capacity = simulator.template_cloud.total_computing_capacity()
@@ -474,21 +525,43 @@ class _EventDrivenBatch:
                 f"circuit {circuit.name} needs {circuit.num_qubits} qubits but "
                 f"the cloud only has {self._stream_capacity}"
             )
-        tenant = record.tenant
+        # The consumed-but-unfired record is part of the checkpointable
+        # state: the cursor's file offset already points past it, so a
+        # snapshot taken before the arrival event fires must carry it.
+        self._pending_record = {
+            "arrival": arrival,
+            "circuit": record.circuit,
+            "tenant": record.tenant,
+            "index": index,
+        }
+        self.loop.schedule_at(
+            arrival,
+            self._cursor_callback(),
+            label=f"arrive:trace[{index}]",
+            tier=ARRIVAL_TIER,
+        )
+
+    def _cursor_callback(self):
+        """Arrival callback minting the job for the pending trace record.
+
+        Built from :attr:`_pending_record` (not a loop variable) so a
+        checkpoint restore can re-bind the cursor event from the snapshotted
+        record alone.
+        """
+        pending = self._pending_record
+        arrival = float(pending["arrival"])
+        circuit = cached_circuit(pending["circuit"])
+        tenant = pending["tenant"]
 
         def on_cursor(loop: EventLoop) -> None:
+            self._pending_record = None
             job = self.controller.submit(circuit, arrival_time=arrival)
             if tenant is not None:
                 self.tenants[job.job_id] = tenant
             self._handle_arrival(job, loop.now)
             self._schedule_next_arrival()
 
-        self.loop.schedule_at(
-            arrival,
-            on_cursor,
-            label=f"arrive:trace[{index}]",
-            tier=ARRIVAL_TIER,
-        )
+        return on_cursor
 
     def _expiry_callback(self, job: Job):
         def on_expiry(loop: EventLoop) -> None:
@@ -1163,6 +1236,7 @@ class _EventDrivenBatch:
         materializes the result list; the terminal job record is also
         released so the Job objects stay O(in-flight) instead of O(jobs).
         """
+        self._results_recorded += 1
         if self.keep_results:
             self.results.append(result)
         if self.telemetry is not None:
@@ -1174,6 +1248,7 @@ class _EventDrivenBatch:
             self.tenants.pop(result.job_id, None)
             self.progress.pop(result.job_id, None)
             self.migration_attempt_versions.pop(result.job_id, None)
+            self._job_capture_cache.pop(result.job_id, None)
 
     def _dropped_result(
         self, job: Job, outcome: JobOutcome, dropped_time: float
@@ -1231,15 +1306,618 @@ class _EventDrivenBatch:
         )
 
     # ------------------------------------------------------------------
+    # Checkpoint capture (see repro.multitenant.checkpoint for the envelope)
+    # ------------------------------------------------------------------
+    def _fingerprint(self) -> Dict[str, Any]:
+        """Run-configuration fingerprint compared field-by-field on resume."""
+        sim = self.simulator
+        template = sim.template_cloud
+        faults = self.faults
+        return {
+            "network_scheduler": type(sim.network_scheduler).__name__,
+            "placement_algorithm": type(sim.placement_algorithm).__name__,
+            "batch_manager": getattr(
+                sim.batch_manager, "name", type(sim.batch_manager).__name__
+            ),
+            "admission_policy": type(self.admission).__name__,
+            "preemption_policy": type(self.preemption).__name__,
+            "work_loss": sim.work_loss,
+            "incremental_placement": bool(sim.incremental_placement),
+            "max_events": sim.max_events,
+            "seed": self._seed,
+            "epr_success_probability": sim.epr_success_probability,
+            "latency": repr(self.latency),
+            "cloud": {
+                "qpus": [
+                    [qpu.qpu_id, qpu.computing_capacity, qpu.communication_capacity]
+                    for qpu in template.qpus.values()
+                ],
+                "epr_success_probability": template.epr_success_probability,
+            },
+            "fault_injector": None
+            if faults is None
+            else {
+                "on_failure": faults.on_failure,
+                "num_events": len(faults.events),
+                "autoscaler": None
+                if faults.autoscaler is None
+                else type(faults.autoscaler).__name__,
+            },
+            "keep_results": bool(self.keep_results),
+            "telemetry": self.telemetry is not None,
+            "trace": self._trace_info,
+        }
+
+    def _restorable_circuit(self, name: str) -> QuantumCircuit:
+        try:
+            return cached_circuit(name)
+        except Exception as exc:
+            raise CheckpointError(
+                f"circuit {name!r} is not in the circuit library; only "
+                "library circuits (the ones traces reference) can be "
+                "rebuilt on resume"
+            ) from exc
+
+    def _capture_job(self, job: Job) -> Dict[str, Any]:
+        rebuilt = self._restorable_circuit(job.circuit.name)
+        if (
+            rebuilt.num_qubits != job.circuit.num_qubits
+            or rebuilt.num_two_qubit_gates != job.circuit.num_two_qubit_gates
+        ):
+            raise CheckpointError(
+                f"job {job.job_id}: circuit {job.circuit.name!r} does not "
+                "match the library circuit of the same name, so it cannot "
+                "be rebuilt on resume"
+            )
+        return {
+            "job_id": job.job_id,
+            "circuit": job.circuit.name,
+            "arrival_time": job.arrival_time,
+            "status": job.status.value,
+            "placement": None
+            if job.placement is None
+            else [[qubit, qpu] for qubit, qpu in job.placement.items()],
+            "start_time": job.start_time,
+            "completion_time": job.completion_time,
+            "num_preemptions": job.num_preemptions,
+            "num_migrations": job.num_migrations,
+            "last_preempted_time": job.last_preempted_time,
+            "last_migrated_time": job.last_migrated_time,
+        }
+
+    def _capture_jobs(self) -> List[Dict[str, Any]]:
+        """Capture the controller's job table, reusing frozen captures.
+
+        A COMPLETED job never mutates again (nothing un-completes), so its
+        captured form is cached; FAILED is *not* terminal here (a fleet
+        failure may requeue the same Job object back to PENDING), and live
+        jobs mutate freely, so both are re-captured every snapshot.
+        """
+        cache = self._job_capture_cache
+        captured = []
+        for job in self.controller.jobs.values():
+            entry = cache.get(job.job_id)
+            if entry is None:
+                entry = self._capture_job(job)
+                if job.status is JobStatus.COMPLETED:
+                    cache[job.job_id] = entry
+            captured.append(entry)
+        return captured
+
+    def _capture_results(self) -> List[Dict[str, Any]]:
+        """Capture the retained result list, serializing only the tail.
+
+        ``self.results`` is append-only and result objects are immutable
+        once recorded, so each snapshot extends the cached capture with the
+        results recorded since the previous one.
+        """
+        captured = self._captured_results
+        for result in self.results[len(captured):]:
+            captured.append(self._capture_result(result))
+        return list(captured)
+
+    @staticmethod
+    def _capture_active(state: _ActiveJob) -> Dict[str, Any]:
+        front = state.front
+        return {
+            "job_id": state.job.job_id,
+            "mapping": [
+                [qubit, qpu] for qubit, qpu in state.placement.mapping.items()
+            ],
+            "algorithm": state.placement.algorithm,
+            "score": state.placement.score,
+            "local_time": state.local_time,
+            "start_time": state.start_time,
+            "completion_time": state.completion_time,
+            "in_flight_ops": state.in_flight_ops,
+            "front": {
+                "pending_predecessors": [
+                    [node, count]
+                    for node, count in front.pending_predecessors.items()
+                ],
+                "ready": sorted(front.ready),
+                "completed": front.completed,
+                "last_finish": front.last_finish,
+            },
+        }
+
+    @staticmethod
+    def _capture_result(result: TenantJobResult) -> Dict[str, Any]:
+        return {
+            "job_id": result.job_id,
+            "circuit_name": result.circuit_name,
+            "arrival_time": result.arrival_time,
+            "placement_time": result.placement_time,
+            "completion_time": result.completion_time,
+            "num_remote_operations": result.num_remote_operations,
+            "num_qpus_used": result.num_qpus_used,
+            "outcome": result.outcome.value,
+            "dropped_time": result.dropped_time,
+            "num_preemptions": result.num_preemptions,
+            "num_migrations": result.num_migrations,
+            "wasted_time": result.wasted_time,
+            "wasted_ops": result.wasted_ops,
+        }
+
+    def _capture_cloud(self) -> Dict[str, Any]:
+        return {
+            "version_base": self.cloud._version_base,
+            "qpus": [
+                {
+                    "qpu_id": qpu.qpu_id,
+                    "computing_capacity": qpu.computing_capacity,
+                    "communication_capacity": qpu.communication_capacity,
+                    "epr_success_probability": qpu.epr_success_probability,
+                    "computing_used": [
+                        [job_id, amount]
+                        for job_id, amount in qpu._computing_used.items()
+                    ],
+                    "communication_used": qpu._communication_used,
+                    "computing_version": qpu._computing_version,
+                }
+                for qpu in self.cloud.qpus.values()
+            ],
+        }
+
+    def _capture_cursor(self) -> Optional[Dict[str, Any]]:
+        if self._trace_cursor is None:
+            return None
+        cursor = self._trace_cursor
+        return {
+            "offset": cursor.tell(),
+            "index": cursor.index,
+            "line_no": cursor.line_no,
+            "previous": cursor.previous_arrival,
+            "first": cursor.first_arrival,
+        }
+
+    def _capture_state(self) -> Dict[str, Any]:
+        """Everything :meth:`_restore_state` needs, as plain json values.
+
+        Dicts with non-string keys are stored as ``[[key, value], ...]``
+        pair lists (json would coerce the keys to strings); iteration
+        orders are preserved so every restored dict iterates exactly like
+        the original.  The :class:`~repro.placement.PlacementContext` is
+        deliberately *not* captured: its caches are exact, so a cold
+        recompute yields bit-identical placements.
+        """
+        checkpoint = self._checkpoint
+        return {
+            "seed": self._seed,
+            "keep_results": self.keep_results,
+            "checkpoint": None
+            if checkpoint is None
+            else {
+                "path": checkpoint.path,
+                "every_jobs": checkpoint.every_jobs,
+                "every_sim_time": checkpoint.every_sim_time,
+            },
+            "trace": self._trace_info,
+            "engine": self.loop.snapshot_state(),
+            "rng": self.rng.bit_generator.state,
+            "job_counter": job_counter_state(),
+            "cloud": self._capture_cloud(),
+            "jobs": self._capture_jobs(),
+            "pending": [job.job_id for job in self.pending],
+            "active": [
+                self._capture_active(state) for state in self.active.values()
+            ],
+            "progress": [
+                [
+                    job_id,
+                    {
+                        "completed_ops": prog.completed_ops,
+                        "elapsed_local": prog.elapsed_local,
+                        "wasted_time": prog.wasted_time,
+                        "wasted_ops": prog.wasted_ops,
+                        "first_placement_time": prog.first_placement_time,
+                    },
+                ]
+                for job_id, prog in self.progress.items()
+            ],
+            "tenants": [
+                [job_id, tenant] for job_id, tenant in self.tenants.items()
+            ],
+            "failure_signatures": [
+                [job_id, list(signature)]
+                for job_id, signature in self.failure_signatures.items()
+            ],
+            "migration_attempt_versions": [
+                [job_id, version]
+                for job_id, version in self.migration_attempt_versions.items()
+            ],
+            "admission": self.admission.checkpoint_state(),
+            "preemption": self.preemption.checkpoint_state(),
+            "autoscaler": self.faults.autoscaler.checkpoint_state()
+            if self.faults is not None and self.faults.autoscaler is not None
+            else None,
+            "departed_capacities": [
+                [qpu_id, list(capacities)]
+                for qpu_id, capacities in self._departed_capacities.items()
+            ],
+            "calibration_restore": [
+                [qpu_id, value]
+                for qpu_id, value in self._calibration_restore.items()
+            ],
+            "counters": {
+                "submitted": self._submitted,
+                "dropped_jobs": self._dropped_jobs,
+                "future_arrivals": self._future_arrivals,
+                "stream_exhausted": self._stream_exhausted,
+                "stream_index": self._stream_index,
+                "last_stream_arrival": self._last_stream_arrival,
+                "resources_changed": self.resources_changed,
+                "round_end_time": self.round_end_time,
+                "results_recorded": self._results_recorded,
+            },
+            "results": self._capture_results(),
+            "telemetry": None
+            if self.telemetry is None
+            else self.telemetry.checkpoint_state(),
+            "pending_record": self._pending_record,
+            "cursor": self._capture_cursor(),
+        }
+
+    def _write_snapshot(self) -> int:
+        return write_snapshot(
+            self._checkpoint.path, self._fingerprint(), self._capture_state()
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint restore
+    # ------------------------------------------------------------------
+    def _resolve_event_label(self, label: str):
+        """Re-bind a snapshotted event label to its callback (restore)."""
+        if label == "tick":
+            return self._tick
+        if label == "epr-round":
+            return self._on_round_end
+        if label == "autoscale":
+            return self._autoscaler_tick
+        if label.startswith("arrive:trace["):
+            return self._cursor_callback()
+        if label.startswith("arrive:"):
+            return self._arrival_callback(
+                self.controller.jobs[label[len("arrive:"):]]
+            )
+        if label.startswith("expire:"):
+            return self._expiry_callback(
+                self.controller.jobs[label[len("expire:"):]]
+            )
+        if label.startswith("preempt-check:"):
+            return self._rescue_check_callback(
+                self.controller.jobs[label[len("preempt-check:"):]]
+            )
+        if label.startswith("calibration-end:"):
+            return self._calibration_end_callback(int(label.rsplit(":", 1)[1]))
+        if label.startswith("fleet:"):
+            index = int(label.split(":", 2)[1])
+            return self._fleet_callback(self.faults.events[index])
+        raise CheckpointError(
+            f"cannot re-bind a callback for event label {label!r}"
+        )
+
+    def _restore_job(self, saved: Dict[str, Any]) -> Job:
+        return Job(
+            circuit=self._restorable_circuit(saved["circuit"]),
+            job_id=saved["job_id"],
+            arrival_time=float(saved["arrival_time"]),
+            status=JobStatus(saved["status"]),
+            placement=None
+            if saved["placement"] is None
+            else {int(qubit): int(qpu) for qubit, qpu in saved["placement"]},
+            start_time=None
+            if saved["start_time"] is None
+            else float(saved["start_time"]),
+            completion_time=None
+            if saved["completion_time"] is None
+            else float(saved["completion_time"]),
+            num_preemptions=int(saved["num_preemptions"]),
+            num_migrations=int(saved["num_migrations"]),
+            last_preempted_time=None
+            if saved["last_preempted_time"] is None
+            else float(saved["last_preempted_time"]),
+            last_migrated_time=None
+            if saved["last_migrated_time"] is None
+            else float(saved["last_migrated_time"]),
+        )
+
+    def _restore_active(self, saved: Dict[str, Any]) -> _ActiveJob:
+        job = self.controller.jobs[saved["job_id"]]
+        placement = Placement(
+            circuit=job.circuit,
+            mapping={int(qubit): int(qpu) for qubit, qpu in saved["mapping"]},
+            algorithm=saved["algorithm"],
+            score=float(saved["score"]),
+        )
+        state = _ActiveJob(
+            job=job,
+            placement=placement,
+            remote_dag=RemoteDAG(job.circuit, placement.mapping),
+            local_time=float(saved["local_time"]),
+            start_time=float(saved["start_time"]),
+        )
+        state.completion_time = (
+            None
+            if saved["completion_time"] is None
+            else float(saved["completion_time"])
+        )
+        state.in_flight_ops = int(saved["in_flight_ops"])
+        front = state.front
+        # __post_init__ rebuilt the front from the (identical) DAG; only the
+        # progress counters need the snapshot's values.  update() keeps the
+        # deterministic rebuild order of pending_predecessors.
+        front.pending_predecessors.update(
+            {int(node): int(count) for node, count in saved["front"]["pending_predecessors"]}
+        )
+        front.ready = {int(node) for node in saved["front"]["ready"]}
+        front.completed = int(saved["front"]["completed"])
+        front.last_finish = float(saved["front"]["last_finish"])
+        return state
+
+    def _restore_cloud(self, saved: Dict[str, Any]) -> None:
+        """Rebuild fleet membership and allocations in the captured order.
+
+        Mutates the existing cloud object in place: the controller and the
+        EPR model hold references to it (the EPR model's per-QPU probability
+        hook is a bound method of this exact instance).
+        """
+        qpus: Dict[int, QPU] = {}
+        for entry in saved["qpus"]:
+            qpu = QPU(
+                qpu_id=int(entry["qpu_id"]),
+                computing_capacity=int(entry["computing_capacity"]),
+                communication_capacity=int(entry["communication_capacity"]),
+                epr_success_probability=None
+                if entry["epr_success_probability"] is None
+                else float(entry["epr_success_probability"]),
+            )
+            qpu._computing_used = {
+                job_id: int(amount)
+                for job_id, amount in entry["computing_used"]
+            }
+            qpu._communication_used = int(entry["communication_used"])
+            qpu._computing_version = int(entry["computing_version"])
+            qpus[qpu.qpu_id] = qpu
+        self.cloud.qpus = qpus
+        self.cloud._version_base = int(saved["version_base"])
+        self.cloud._resource_graph_cache = None
+        self.cloud._available_cache = None
+
+    def _restore_state(self, state: Dict[str, Any], telemetry) -> None:
+        """Adopt a full snapshot into this freshly constructed batch."""
+        set_job_counter(int(state["job_counter"]))
+        self.rng.bit_generator.state = state["rng"]
+        self._restore_cloud(state["cloud"])
+        self.controller.jobs.clear()
+        for saved in state["jobs"]:
+            job = self._restore_job(saved)
+            self.controller.jobs[job.job_id] = job
+        jobs = self.controller.jobs
+        self.pending = [jobs[job_id] for job_id in state["pending"]]
+        self._recompute_min_pending()
+        self.progress = {
+            job_id: JobProgress(
+                completed_ops=int(prog["completed_ops"]),
+                elapsed_local=float(prog["elapsed_local"]),
+                wasted_time=float(prog["wasted_time"]),
+                wasted_ops=int(prog["wasted_ops"]),
+                first_placement_time=None
+                if prog["first_placement_time"] is None
+                else float(prog["first_placement_time"]),
+            )
+            for job_id, prog in state["progress"]
+        }
+        self.tenants = {job_id: tenant for job_id, tenant in state["tenants"]}
+        self.failure_signatures = {
+            job_id: (int(signature[0]), int(signature[1]))
+            for job_id, signature in state["failure_signatures"]
+        }
+        self.migration_attempt_versions = {
+            job_id: int(version)
+            for job_id, version in state["migration_attempt_versions"]
+        }
+        self.active = {
+            saved["job_id"]: self._restore_active(saved)
+            for saved in state["active"]
+        }
+        self.admission.restore_state(state["admission"])
+        self.preemption.restore_state(state["preemption"])
+        if state["autoscaler"] is not None:
+            self.faults.autoscaler.restore_state(state["autoscaler"])
+        self._departed_capacities = {
+            int(qpu_id): (int(capacities[0]), int(capacities[1]))
+            for qpu_id, capacities in state["departed_capacities"]
+        }
+        self._calibration_restore = {
+            int(qpu_id): None if value is None else float(value)
+            for qpu_id, value in state["calibration_restore"]
+        }
+        counters = state["counters"]
+        self._submitted = int(counters["submitted"])
+        self._dropped_jobs = int(counters["dropped_jobs"])
+        self._future_arrivals = int(counters["future_arrivals"])
+        self._stream_exhausted = bool(counters["stream_exhausted"])
+        self._stream_index = int(counters["stream_index"])
+        self._last_stream_arrival = (
+            None
+            if counters["last_stream_arrival"] is None
+            else float(counters["last_stream_arrival"])
+        )
+        self.resources_changed = bool(counters["resources_changed"])
+        self.round_end_time = (
+            None
+            if counters["round_end_time"] is None
+            else float(counters["round_end_time"])
+        )
+        self._results_recorded = int(counters["results_recorded"])
+        self.results = [
+            TenantJobResult(
+                job_id=saved["job_id"],
+                circuit_name=saved["circuit_name"],
+                arrival_time=float(saved["arrival_time"]),
+                placement_time=float(saved["placement_time"]),
+                completion_time=float(saved["completion_time"]),
+                num_remote_operations=int(saved["num_remote_operations"]),
+                num_qpus_used=int(saved["num_qpus_used"]),
+                outcome=JobOutcome(saved["outcome"]),
+                dropped_time=None
+                if saved["dropped_time"] is None
+                else float(saved["dropped_time"]),
+                num_preemptions=int(saved["num_preemptions"]),
+                num_migrations=int(saved["num_migrations"]),
+                wasted_time=float(saved["wasted_time"]),
+                wasted_ops=int(saved["wasted_ops"]),
+            )
+            for saved in state["results"]
+        ]
+        if state["telemetry"] is not None:
+            if telemetry is None:
+                raise CheckpointError(
+                    "the snapshot carries telemetry state; pass a fresh "
+                    "Telemetry sink to resume_stream"
+                )
+            telemetry.restore_state(state["telemetry"])
+            self.telemetry = telemetry
+        self._pending_record = state["pending_record"]
+        if state["cursor"] is not None:
+            trace = state["trace"]
+            reader = TraceReader(trace["path"], format=trace["format"])
+            cursor = reader.cursor()
+            saved_cursor = state["cursor"]
+            cursor.seek(
+                int(saved_cursor["offset"]),
+                index=int(saved_cursor["index"]),
+                line_no=saved_cursor["line_no"],
+                previous=saved_cursor["previous"],
+                first=saved_cursor["first"],
+            )
+            self._records = cursor
+            self._trace_cursor = cursor
+        # The engine comes last: the resolver needs the restored jobs and
+        # pending record to re-bind callbacks.
+        handles = self.loop.restore_state(
+            state["engine"], self._resolve_event_label
+        )
+        self.expiry_handles = {}
+        self.tick_handle = None
+        self._autoscaler_handle = None
+        for (_, _, _, label), handle in zip(
+            state["engine"]["events"], handles
+        ):
+            if label == "tick":
+                self.tick_handle = handle
+            elif label == "autoscale":
+                self._autoscaler_handle = handle
+            elif label.startswith("expire:"):
+                self.expiry_handles[label[len("expire:"):]] = handle
+
+    # ------------------------------------------------------------------
     # Driver
     # ------------------------------------------------------------------
-    def execute(self) -> List[TenantJobResult]:
+    def _run_loop(self) -> None:
+        """Drain the event queue, snapshotting between events if configured.
+
+        With ``checkpoint=None`` on a fresh (non-restored) batch this is the
+        plain :meth:`EventLoop.run` fast path -- literally the pre-checkpoint
+        code -- so arming no checkpoint changes nothing.  Otherwise events
+        are stepped one at a time so snapshots (and the SIGTERM/SIGINT final
+        snapshot) land at safe points *between* events; the max-events budget
+        counts ``processed_events``, which survives a resume, so a resumed
+        run has exactly the budget the uninterrupted run had.
+        """
+        max_events = self.simulator.max_events
+        config = self._checkpoint
+        if config is None and not self._restored:
+            try:
+                self.loop.run(max_events=max_events)
+            except SimulationError as exc:
+                raise ClusterSimulationError(
+                    f"simulation exceeded {max_events} events"
+                ) from exc
+            return
+        handlers: Dict[int, Any] = {}
+        if config is not None:
+            self._signal_flag = None
+
+            def on_signal(signum: int, frame: object) -> None:
+                self._signal_flag = signum
+
+            try:
+                for signum in (signal.SIGTERM, signal.SIGINT):
+                    handlers[signum] = signal.signal(signum, on_signal)
+            except ValueError:  # pragma: no cover - non-main thread
+                for signum, previous in handlers.items():
+                    signal.signal(signum, previous)
+                handlers = {}
+        results_at_snapshot = self._results_recorded
+        time_of_snapshot = self.loop.now
+        # The loop body runs once per engine event, so attribute lookups
+        # are hoisted into locals -- at millions of events per replay the
+        # per-iteration Python overhead is the bulk of the checkpointing
+        # cost (the snapshots themselves amortize to ~nothing).
+        loop = self.loop
+        step = loop.step
+        peek = loop.peek
+        every_jobs = None if config is None else config.every_jobs
+        every_sim_time = None if config is None else config.every_sim_time
         try:
-            self.loop.run(max_events=self.simulator.max_events)
-        except SimulationError as exc:
-            raise ClusterSimulationError(
-                f"simulation exceeded {self.simulator.max_events} events"
-            ) from exc
+            while True:
+                if self._signal_flag is not None:
+                    signum = self._signal_flag
+                    self._write_snapshot()
+                    if signum == signal.SIGINT:
+                        raise KeyboardInterrupt
+                    raise SystemExit(128 + signum)
+                if peek() is None:
+                    break
+                if (
+                    max_events is not None
+                    and loop.processed_events >= max_events
+                ):
+                    raise ClusterSimulationError(
+                        f"simulation exceeded {max_events} events"
+                    )
+                step()
+                if every_jobs is not None:
+                    if (
+                        self._results_recorded - results_at_snapshot
+                        >= every_jobs
+                    ):
+                        self._write_snapshot()
+                        results_at_snapshot = self._results_recorded
+                        time_of_snapshot = loop.now
+                elif every_sim_time is not None:
+                    if loop.now - time_of_snapshot >= every_sim_time:
+                        self._write_snapshot()
+                        results_at_snapshot = self._results_recorded
+                        time_of_snapshot = loop.now
+        finally:
+            for signum, previous in handlers.items():
+                signal.signal(signum, previous)
+
+    def execute(self) -> List[TenantJobResult]:
+        self._run_loop()
         if self.pending:
             if any(job.num_preemptions == 0 for job in self.pending):
                 raise ClusterSimulationError(
@@ -1341,6 +2019,7 @@ class MultiTenantSimulator:
         telemetry=None,
         keep_results: bool = True,
         tenants: Optional[Sequence] = None,
+        checkpoint: Optional[CheckpointConfig] = None,
     ) -> List[TenantJobResult]:
         """Run a batch of circuits to completion and return per-job results.
 
@@ -1357,6 +2036,12 @@ class MultiTenantSimulator:
         the run returns ``[]`` and the sink holds the bounded-memory
         aggregates.  ``tenants`` optionally pairs one tenant id per
         circuit for the sink's per-tenant accounting and event stream.
+
+        ``checkpoint`` arms crash-safe snapshotting (see
+        :class:`~repro.multitenant.CheckpointConfig` and
+        :meth:`resume_stream`); snapshots are written atomically between
+        events, so ``checkpoint=None`` (the default) is bit-identical to a
+        run without the feature.
         """
         if telemetry is None and not keep_results:
             raise ValueError(
@@ -1395,6 +2080,7 @@ class MultiTenantSimulator:
             telemetry=telemetry,
             keep_results=keep_results,
             tenants=tenants,
+            checkpoint=checkpoint,
         ).execute()
 
     def run_stream(
@@ -1409,6 +2095,7 @@ class MultiTenantSimulator:
             Union[str, os.PathLike, TraceReader, Iterable[TraceRecord]]
         ] = None,
         trace_format: Optional[str] = None,
+        checkpoint: Optional[CheckpointConfig] = None,
     ) -> List[TenantJobResult]:
         """Incoming-job mode: circuits arriving over time (Sec. V-B).
 
@@ -1448,6 +2135,16 @@ class MultiTenantSimulator:
         optional jsonl event stream -- without retaining per-job
         ``TenantJobResult`` lists (see ``docs/architecture.md``,
         "Telemetry & observability").
+
+        ``checkpoint=CheckpointConfig(path=..., every_jobs=...)`` arms
+        crash-safe snapshotting: the run periodically writes an atomic
+        snapshot of everything needed to resume (engine queue, RNG streams,
+        controller and policy state, telemetry sketches, trace cursor), and
+        a SIGTERM/SIGINT triggers one final snapshot before exiting.
+        :meth:`resume_stream` continues from the latest snapshot
+        bit-identically to the uninterrupted run.  A checkpointed trace
+        replay needs a *path* trace (the resumable byte cursor re-opens the
+        file); reader/iterable traces raise :class:`CheckpointError`.
         """
         if trace is not None:
             if circuits is not None or arrival_times is not None:
@@ -1464,6 +2161,32 @@ class MultiTenantSimulator:
                     "keep_results=False requires a telemetry sink; the run "
                     "would otherwise produce nothing"
                 )
+            if checkpoint is not None:
+                # The checkpointed path reads through a byte-addressable
+                # cursor so the snapshot can record an exact resume offset;
+                # checkpoint=None keeps the original record iterator
+                # untouched (pinned bit-identical by regression tests).
+                if not isinstance(trace, (str, os.PathLike)):
+                    raise CheckpointError(
+                        "a checkpointed trace replay needs a path trace= "
+                        "(reader/iterable sources cannot be re-opened on "
+                        "resume)"
+                    )
+                reader = TraceReader(trace, format=trace_format)
+                return _EventDrivenBatch(
+                    self,
+                    (),
+                    (),
+                    seed,
+                    telemetry=telemetry,
+                    keep_results=keep_results,
+                    record_stream=reader.cursor(),
+                    checkpoint=checkpoint,
+                    trace_info={
+                        "path": os.fspath(trace),
+                        "format": reader.format,
+                    },
+                ).execute()
             return _EventDrivenBatch(
                 self,
                 (),
@@ -1487,7 +2210,64 @@ class MultiTenantSimulator:
             telemetry=telemetry,
             keep_results=keep_results,
             tenants=tenants,
+            checkpoint=checkpoint,
         )
+
+    def resume_stream(
+        self,
+        path: Union[str, os.PathLike],
+        telemetry=None,
+        checkpoint: Any = _INHERIT_CHECKPOINT,
+    ) -> List[TenantJobResult]:
+        """Resume a checkpointed run from a snapshot, bit-identically.
+
+        The caller reconstructs the simulator exactly as for the original
+        run (same cloud, scheduler, policies, ...); the snapshot's
+        configuration fingerprint is compared field-by-field and the resume
+        is refused with :class:`~repro.multitenant.CheckpointMismatchError`
+        naming the first differing field.  The returned results, final
+        metrics, and telemetry byte stream are bit-identical to the
+        uninterrupted run (pinned by property tests across all schedulers
+        with preemption and fault injection active).
+
+        ``telemetry`` must be a *fresh* sink iff the original run had one
+        (constructed with the same ``epsilon``/``queue_depth_capacity`` and
+        **without** ``events=`` -- the snapshot rewires the event stream to
+        the original path, truncating any torn tail).  ``checkpoint``
+        defaults to inheriting the snapshotted cadence, so a resumed run
+        keeps checkpointing to the same file; pass ``None`` to disable
+        further snapshots or a new :class:`CheckpointConfig` to change them.
+        """
+        envelope = read_snapshot(os.fspath(path))
+        state = envelope["state"]
+        if checkpoint is _INHERIT_CHECKPOINT:
+            saved = state.get("checkpoint")
+            checkpoint = (
+                None
+                if saved is None
+                else CheckpointConfig(
+                    path=saved["path"],
+                    every_jobs=saved["every_jobs"],
+                    every_sim_time=saved["every_sim_time"],
+                )
+            )
+        batch = _EventDrivenBatch(
+            self,
+            (),
+            (),
+            state["seed"],
+            telemetry=None,
+            keep_results=bool(state["keep_results"]),
+            checkpoint=checkpoint,
+            trace_info=state["trace"],
+            restoring=True,
+        )
+        # The fingerprint's has-telemetry flag must reflect the resume call.
+        batch.telemetry = telemetry
+        check_fingerprint(envelope["fingerprint"], batch._fingerprint())
+        batch.telemetry = None
+        batch._restore_state(state, telemetry)
+        return batch.execute()
 
     @staticmethod
     def _trace_records(

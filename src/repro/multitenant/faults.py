@@ -22,7 +22,17 @@ one without the fault layer compiled in at all.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -243,6 +253,17 @@ class Autoscaler:
     def decide(self, view: FleetView) -> List[FleetAction]:
         raise NotImplementedError
 
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """Json-serializable per-run state for a checkpoint snapshot.
+
+        Stateful scalers must capture everything :meth:`reset` clears so a
+        resumed run makes the same decisions as the uninterrupted one.
+        """
+        return {}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`checkpoint_state` output (after :meth:`reset`)."""
+
 
 class QueueDepthAutoscaler(Autoscaler):
     """Join standby QPUs when the queue backs up, drain them when it clears.
@@ -294,6 +315,18 @@ class QueueDepthAutoscaler(Autoscaler):
         self._joined: List[int] = []
         self._last_submitted = 0
         self._last_dropped = 0
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        return {
+            "joined": list(self._joined),
+            "last_submitted": self._last_submitted,
+            "last_dropped": self._last_dropped,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._joined = [int(qpu_id) for qpu_id in state["joined"]]
+        self._last_submitted = int(state["last_submitted"])
+        self._last_dropped = int(state["last_dropped"])
 
     def _drop_rate(self, view: FleetView) -> float:
         submitted = view.submitted - self._last_submitted

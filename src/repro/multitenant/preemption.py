@@ -39,7 +39,7 @@ rescue-check events, the work-loss model) is documented in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..cloud import Job
 
@@ -174,6 +174,18 @@ class PreemptionPolicy:
         chance to act *before* the expiry event fires.
         """
         return None
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """Json-serializable per-run state for a checkpoint snapshot.
+
+        All built-in policies are pure functions of the view, so the base
+        returns ``{}``; a stateful subclass must capture everything
+        :meth:`reset` clears so a resumed run stays bit-identical.
+        """
+        return {}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`checkpoint_state` output (after :meth:`reset`)."""
 
 
 class NeverPreempt(PreemptionPolicy):

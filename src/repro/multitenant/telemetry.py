@@ -78,10 +78,13 @@ from __future__ import annotations
 import bisect
 import json
 import math
+import os
 import random
-from typing import Dict, IO, Iterable, List, Optional, Sequence, Tuple, Union
+import warnings
+from typing import Any, Dict, IO, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .admission import JobOutcome
+from .checkpoint import CheckpointError
 
 #: Every event type the structured stream can emit, in lifecycle order.
 TELEMETRY_EVENTS: Tuple[str, ...] = (
@@ -235,6 +238,34 @@ class QuantileSketch:
         """Value at percentile ``p`` in [0, 100]."""
         return self.quantile(p / 100.0)
 
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """Json-serializable sketch state (bit-exact float round trip)."""
+        return {
+            "epsilon": self.epsilon,
+            "count": self.count,
+            "values": list(self._values),
+            "g": list(self._g),
+            "delta": list(self._delta),
+            "since_compress": self._since_compress,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "QuantileSketch":
+        """Rebuild a sketch from :meth:`checkpoint_state` output."""
+        sketch = cls(epsilon=float(state["epsilon"]))
+        sketch.count = int(state["count"])
+        sketch._values = [float(v) for v in state["values"]]
+        sketch._g = [int(v) for v in state["g"]]
+        sketch._delta = [int(v) for v in state["delta"]]
+        sketch._since_compress = int(state["since_compress"])
+        sketch.sum = float(state["sum"])
+        sketch.min = float(state["min"])
+        sketch.max = float(state["max"])
+        return sketch
+
 
 class _DepthSeries:
     """Fixed-capacity (time, depth) step series maintained online.
@@ -318,20 +349,76 @@ class _DepthSeries:
             best = self._pending[1]
         return best
 
+    def checkpoint_state(self) -> Dict[str, Any]:
+        version, internal, gauss = self._rng.getstate()
+        return {
+            "capacity": self.capacity,
+            "seen": self.seen,
+            "max_depth": self.max_depth,
+            "rng": [version, list(internal), gauss],
+            "points": [[t, d] for t, d in self._points],
+            "pending": None if self._pending is None else list(self._pending),
+            "last_depth": self._last_recorded_depth,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "_DepthSeries":
+        series = cls(int(state["capacity"]))
+        version, internal, gauss = state["rng"]
+        series._rng.setstate(
+            (int(version), tuple(int(word) for word in internal), gauss)
+        )
+        series.seen = int(state["seen"])
+        series.max_depth = int(state["max_depth"])
+        series._points = [(float(t), int(d)) for t, d in state["points"]]
+        pending = state["pending"]
+        series._pending = (
+            None if pending is None else (float(pending[0]), int(pending[1]))
+        )
+        series._last_recorded_depth = int(state["last_depth"])
+        return series
+
 
 def iter_events(source: Union[str, IO[str], Iterable[str]]) -> Iterable[dict]:
-    """Yield parsed event records from a jsonl path, file object or lines."""
+    """Yield parsed event records from a jsonl path, file object or lines.
+
+    A malformed *final* line is tolerated with a warning: the exporter
+    flushes after every event, so a crashed run can tear at most the last
+    line of the file, and that torn tail is a recoverable artifact rather
+    than corruption.  A malformed line anywhere *before* the end still
+    raises -- nothing legitimate produces one.
+    """
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as stream:
-            for line in stream:
-                line = line.strip()
-                if line:
-                    yield json.loads(line)
+            yield from _parse_event_lines(stream)
         return
-    for line in source:
-        line = line.strip()
-        if line:
-            yield json.loads(line)
+    yield from _parse_event_lines(source)
+
+
+def _parse_event_lines(lines: Iterable[str]) -> Iterable[dict]:
+    torn: Optional[Tuple[int, ValueError]] = None
+    for line_no, raw in enumerate(lines, 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if torn is not None:
+            raise ValueError(
+                f"corrupt telemetry event on line {torn[0]}: {torn[1]} "
+                "(only the final line may be truncated)"
+            )
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            torn = (line_no, exc)
+            continue
+        yield record
+    if torn is not None:
+        warnings.warn(
+            f"skipping truncated telemetry event on final line {torn[0]} "
+            "(crash artifact)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 class Telemetry:
@@ -392,12 +479,18 @@ class Telemetry:
         self._series = _DepthSeries(queue_depth_capacity)
         self._stream: Optional[IO[str]] = None
         self._owns_stream = False
+        #: Bytes of complete, flushed events written to the stream so far.
+        #: A checkpoint stores this offset; a resumed run truncates the
+        #: jsonl file back to it, discarding at most one torn tail line.
+        self.events_bytes = 0
+        self._events_path: Optional[str] = None
         if events is not None:
             if hasattr(events, "write"):
                 self._stream = events  # type: ignore[assignment]
             else:
                 self._stream = open(events, "w", encoding="utf-8")
                 self._owns_stream = True
+                self._events_path = events
 
     # ------------------------------------------------------------------
     # Event stream plumbing
@@ -413,7 +506,13 @@ class Telemetry:
         for key, value in fields.items():
             if value is not None:
                 record[key] = value
-        self._stream.write(json.dumps(record) + "\n")
+        # One write + flush per event: a crash can tear at most the line
+        # being written, which iter_events tolerates and a checkpoint
+        # resume truncates away (json.dumps is ASCII, so len == bytes).
+        line = json.dumps(record) + "\n"
+        self._stream.write(line)
+        self._stream.flush()
+        self.events_bytes += len(line)
 
     def close(self) -> None:
         """Flush and (if this sink opened it) close the event stream."""
@@ -428,6 +527,150 @@ class Telemetry:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """Everything needed to resume this sink bit-identically.
+
+        Only sinks with no event stream or a *path-backed* one can be
+        checkpointed: a caller-owned file object cannot be reopened by a
+        resumed process.
+        """
+        if self._stream is not None and self._events_path is None:
+            raise CheckpointError(
+                "telemetry writing to a caller-owned file object cannot be "
+                "checkpointed; pass a path as events= so the resumed run "
+                "can reopen the stream"
+            )
+        events = None
+        if self._events_path is not None:
+            events = {"path": self._events_path, "bytes": self.events_bytes}
+        return {
+            "epsilon": self.jct.epsilon,
+            "queue_depth_capacity": self._series.capacity,
+            "jct": self.jct.checkpoint_state(),
+            "queueing_delay": self.queueing_delay.checkpoint_state(),
+            "outcome_counts": dict(self.outcome_counts),
+            "tenant_counts": [
+                [tenant, dict(counts)]
+                for tenant, counts in self.tenant_counts.items()
+            ],
+            "qpu_placements": [
+                [qpu, count] for qpu, count in self.qpu_placements.items()
+            ],
+            "arrivals": self.arrivals,
+            "admissions": self.admissions,
+            "placements": self.placements,
+            "preemption_events": self.preemption_events,
+            "migration_events": self.migration_events,
+            "preempted_jobs": self.preempted_jobs,
+            "stranded": self.stranded,
+            "wasted_time": self.wasted_time,
+            "wasted_ops": self.wasted_ops,
+            "fleet_events": dict(self.fleet_events),
+            "interrupted_jobs": self.interrupted_jobs,
+            "fleet_migrated": self.fleet_migrated,
+            "fleet_requeued": self.fleet_requeued,
+            "qpu_downtime": [
+                [qpu, down] for qpu, down in self.qpu_downtime.items()
+            ],
+            "offline_since": [
+                [qpu, since] for qpu, since in self._offline_since.items()
+            ],
+            "depth": self.depth,
+            "series": self._series.checkpoint_state(),
+            "events": events,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Adopt :meth:`checkpoint_state` output, rewiring the event stream.
+
+        The sink must be freshly constructed *without* ``events=`` (passing
+        a path to the constructor truncates the file; the snapshot's stream
+        is reattached here instead, truncated to the last durable event so
+        a torn tail line from the crash disappears) and with the same
+        ``epsilon`` / ``queue_depth_capacity`` as the original.
+        """
+        if self.arrivals or self.total or self._stream is not None:
+            raise CheckpointError(
+                "restore_state needs a fresh Telemetry constructed without "
+                "events= (the snapshot's stream is reattached here)"
+            )
+        if self.jct.epsilon != float(state["epsilon"]):
+            raise CheckpointError(
+                f"telemetry epsilon mismatch: snapshot has "
+                f"{state['epsilon']!r}, this sink has {self.jct.epsilon!r}"
+            )
+        if self._series.capacity != int(state["queue_depth_capacity"]):
+            raise CheckpointError(
+                f"telemetry queue_depth_capacity mismatch: snapshot has "
+                f"{state['queue_depth_capacity']!r}, this sink has "
+                f"{self._series.capacity!r}"
+            )
+        self.jct = QuantileSketch.from_state(state["jct"])
+        self.queueing_delay = QuantileSketch.from_state(state["queueing_delay"])
+        self.outcome_counts = {
+            str(outcome): int(count)
+            for outcome, count in state["outcome_counts"].items()
+        }
+        self.tenant_counts = {
+            tenant: {str(k): int(v) for k, v in counts.items()}
+            for tenant, counts in state["tenant_counts"]
+        }
+        self.qpu_placements = {
+            int(qpu): int(count) for qpu, count in state["qpu_placements"]
+        }
+        self.arrivals = int(state["arrivals"])
+        self.admissions = int(state["admissions"])
+        self.placements = int(state["placements"])
+        self.preemption_events = int(state["preemption_events"])
+        self.migration_events = int(state["migration_events"])
+        self.preempted_jobs = int(state["preempted_jobs"])
+        self.stranded = int(state["stranded"])
+        self.wasted_time = float(state["wasted_time"])
+        self.wasted_ops = int(state["wasted_ops"])
+        self.fleet_events = {
+            str(event): int(count)
+            for event, count in state["fleet_events"].items()
+        }
+        self.interrupted_jobs = int(state["interrupted_jobs"])
+        self.fleet_migrated = int(state["fleet_migrated"])
+        self.fleet_requeued = int(state["fleet_requeued"])
+        self.qpu_downtime = {
+            int(qpu): float(down) for qpu, down in state["qpu_downtime"]
+        }
+        self._offline_since = {
+            int(qpu): float(since) for qpu, since in state["offline_since"]
+        }
+        self.depth = int(state["depth"])
+        self._series = _DepthSeries.from_state(state["series"])
+        events = state["events"]
+        if events is not None:
+            path = events["path"]
+            offset = int(events["bytes"])
+            try:
+                size = os.path.getsize(path)
+            except OSError as exc:
+                raise CheckpointError(
+                    f"cannot reopen telemetry events file {path!r}: {exc}"
+                ) from exc
+            if size < offset:
+                raise CheckpointError(
+                    f"telemetry events file {path!r} is shorter than the "
+                    f"snapshot's {offset} durable bytes ({size} on disk); "
+                    "the file was truncated or replaced since the snapshot"
+                )
+            # Drop everything after the last durable event: at most one
+            # torn line from the crash plus any events emitted after the
+            # snapshot was taken (the resumed run re-emits those).
+            with open(path, "r+b") as tail:
+                tail.truncate(offset)
+            self._stream = open(path, "a", encoding="utf-8")
+            self._owns_stream = True
+            self._events_path = path
+            self.events_bytes = offset
 
     # ------------------------------------------------------------------
     # Transition hooks (called by the simulator, in simulation order)

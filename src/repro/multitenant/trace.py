@@ -446,20 +446,7 @@ class TraceReader:
             if not row:
                 continue
             if columns is None:
-                columns = [cell.strip() for cell in row]
-                unknown = sorted(set(columns) - set(TRACE_FIELDS))
-                if unknown:
-                    raise TraceFormatError(
-                        f"line {line_no}: unknown column(s) {unknown} "
-                        f"(schema v{TRACE_SCHEMA_VERSION} columns: "
-                        f"{list(TRACE_FIELDS)})"
-                    )
-                for required in ("arrival_time", "circuit"):
-                    if required not in columns:
-                        raise TraceFormatError(
-                            f"line {line_no}: missing required column "
-                            f"{required!r}"
-                        )
+                columns = self._check_columns(row, line_no)
                 continue
             record = self._parse_csv_row(row, columns, index, line_no)
             _check_record(record, index, line_no, previous)
@@ -471,6 +458,25 @@ class TraceReader:
         if columns is None:
             raise TraceFormatError("trace has a header but no column row")
 
+    def _check_columns(
+        self, row: Sequence[str], line_no: int
+    ) -> "list[str]":
+        columns = [cell.strip() for cell in row]
+        unknown = sorted(set(columns) - set(TRACE_FIELDS))
+        if unknown:
+            raise TraceFormatError(
+                f"line {line_no}: unknown column(s) {unknown} "
+                f"(schema v{TRACE_SCHEMA_VERSION} columns: "
+                f"{list(TRACE_FIELDS)})"
+            )
+        for required in ("arrival_time", "circuit"):
+            if required not in columns:
+                raise TraceFormatError(
+                    f"line {line_no}: missing required column "
+                    f"{required!r}"
+                )
+        return columns
+
     def _emit(self, record: TraceRecord, first: float) -> TraceRecord:
         if not self._rebase:
             return record
@@ -479,6 +485,209 @@ class TraceReader:
                 float(record.arrival_time), first, self.start, self.time_scale
             )
         )
+
+    def cursor(self) -> "TraceCursor":
+        """Open a byte-addressable, resumable iterator (path sources only).
+
+        The cursor yields exactly the records plain iteration yields, but
+        additionally supports :meth:`TraceCursor.tell` /
+        :meth:`TraceCursor.seek`, so a resumed replay re-opens a 10^6-job
+        trace at the saved byte offset instead of rescanning the prefix.
+        """
+        return TraceCursor(self)
+
+
+class TraceCursor:
+    """Byte-addressable iterator over a *path-backed* trace.
+
+    Runs the same parsing and validation as iterating the
+    :class:`TraceReader`, but reads the file in binary mode with manual
+    offset accounting, so :meth:`tell` is exact at every record boundary
+    and :meth:`seek` can re-position a fresh cursor (even in a different
+    process) to continue exactly where a previous one stopped.
+
+    Restrictions vs plain iteration: the source must be a path (file
+    objects are single-pass), and CSV cells cannot contain embedded
+    newlines (every row must be one physical line -- nothing this repo's
+    writer produces violates that).
+    """
+
+    def __init__(self, reader: TraceReader) -> None:
+        if not isinstance(reader.source, (str, os.PathLike)):
+            raise TraceFormatError(
+                "a trace cursor needs a path-backed source (file objects "
+                "are single-pass and cannot be re-opened on resume)"
+            )
+        self._reader = reader
+        self._stream: IO[bytes] = open(reader.source, "rb")
+        self._offset = 0
+        self._line_no: Optional[int] = 0
+        self._index = 0
+        self._previous: Optional[float] = None
+        self._first: Optional[float] = None
+        self._columns: Optional[Sequence[str]] = None
+        self._data_offset: Optional[int] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+
+    def __enter__(self) -> "TraceCursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- position accessors (checkpointed by the simulator) -------------
+    @property
+    def index(self) -> int:
+        """0-based index of the next record to be read."""
+        return self._index
+
+    @property
+    def line_no(self) -> Optional[int]:
+        """Physical line number already consumed (None after a blind seek)."""
+        return self._line_no
+
+    @property
+    def previous_arrival(self) -> Optional[float]:
+        """Raw (pre-rebase) arrival of the last record read, if any."""
+        return self._previous
+
+    @property
+    def first_arrival(self) -> Optional[float]:
+        """Raw arrival of the trace's first record, once known."""
+        return self._first
+
+    def tell(self) -> int:
+        """Byte offset of the next unread record line."""
+        if self._data_offset is None:
+            self._read_prologue()
+        return self._offset
+
+    def seek(
+        self,
+        offset: int,
+        index: int = 0,
+        line_no: Optional[int] = None,
+        previous: Optional[float] = None,
+        first: Optional[float] = None,
+    ) -> None:
+        """Re-position to a byte offset previously returned by :meth:`tell`.
+
+        Only :meth:`tell` outputs (record boundaries) are valid offsets.
+        The keyword state re-seeds bookkeeping across the jump: ``index``
+        and ``line_no`` feed error messages, ``previous`` re-arms the
+        sortedness check over the seam, and ``first`` restores the rebase
+        origin.  When ``first`` is omitted but the reader rebases
+        timestamps, the first record is re-read from the head of the file
+        to recover it, so a bare ``seek(tell())`` round trip stays correct.
+        """
+        if offset < 0:
+            raise ValueError(f"seek offset cannot be negative, got {offset}")
+        if self._data_offset is None:
+            self._read_prologue()
+        if offset < self._data_offset:
+            raise TraceFormatError(
+                f"seek offset {offset} lies inside the trace header "
+                f"(records start at byte {self._data_offset})"
+            )
+        self._stream.seek(offset)
+        self._offset = offset
+        self._index = int(index)
+        self._line_no = None if line_no is None else int(line_no)
+        self._previous = None if previous is None else float(previous)
+        if first is not None:
+            self._first = float(first)
+        elif offset > self._data_offset and self._reader._rebase:
+            self._first = self._probe_first_arrival()
+        else:
+            self._first = None
+
+    def _probe_first_arrival(self) -> float:
+        probe = TraceCursor(self._reader)
+        try:
+            if next(iter(probe), None) is None:
+                raise TraceFormatError(
+                    "cannot seek into a trace that has no records"
+                )
+            assert probe._first is not None
+            return probe._first
+        finally:
+            probe.close()
+
+    # -- reading --------------------------------------------------------
+    def _read_line(self) -> Optional[str]:
+        raw = self._stream.readline()
+        if not raw:
+            return None
+        self._offset += len(raw)
+        if self._line_no is not None:
+            self._line_no += 1
+        return raw.decode("utf-8")
+
+    def _read_prologue(self) -> None:
+        """Consume the header (and CSV column row), stopping at record 0."""
+        reader = self._reader
+        if reader.format == "jsonl":
+            while True:
+                line = self._read_line()
+                if line is None:
+                    raise TraceFormatError(
+                        "trace is empty: missing the header line"
+                    )
+                if line.strip():
+                    break
+            reader.header = reader._read_jsonl_header(line, self._line_no)
+        else:
+            comment = self._read_line()
+            if comment is None:
+                raise TraceFormatError("trace is empty: missing the header line")
+            reader.header = reader._read_csv_header(comment, 1)
+            while True:
+                row_line = self._read_line()
+                if row_line is None:
+                    raise TraceFormatError(
+                        "trace has a header but no column row"
+                    )
+                row = next(csv.reader([row_line]), [])
+                if not row:
+                    continue
+                self._columns = reader._check_columns(row, self._line_no)
+                break
+        self._data_offset = self._offset
+
+    def __iter__(self) -> "TraceCursor":
+        return self
+
+    def __next__(self) -> TraceRecord:
+        if self._data_offset is None:
+            self._read_prologue()
+        reader = self._reader
+        while True:
+            line = self._read_line()
+            if line is None:
+                raise StopIteration
+            if reader.format == "jsonl":
+                if not line.strip():
+                    continue
+                record = reader._parse_jsonl_record(
+                    line, self._index, self._line_no
+                )
+            else:
+                row = next(csv.reader([line]), [])
+                if not row:
+                    continue
+                record = reader._parse_csv_row(
+                    row, self._columns, self._index, self._line_no
+                )
+            _check_record(record, self._index, self._line_no, self._previous)
+            self._previous = float(record.arrival_time)
+            if self._first is None:
+                self._first = self._previous
+            self._index += 1
+            return reader._emit(record, self._first)
 
 
 def read_trace(

@@ -19,9 +19,8 @@ on it are documented in ``docs/architecture.md``.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
@@ -94,10 +93,15 @@ class EventLoop:
 
     def __init__(self) -> None:
         self._queue: List[_QueuedEvent] = []
-        self._counter = itertools.count()
+        self._next_sequence = 0
         self._now = 0.0
         self._running = False
         self.processed_events = 0
+
+    def _next_seq(self) -> int:
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        return sequence
 
     @property
     def now(self) -> float:
@@ -125,7 +129,7 @@ class EventLoop:
         event = _QueuedEvent(
             time=self._now + delay,
             tier=tier,
-            sequence=next(self._counter),
+            sequence=self._next_seq(),
             callback=callback,
             label=label,
         )
@@ -154,7 +158,7 @@ class EventLoop:
         event = _QueuedEvent(
             time=time,
             tier=tier,
-            sequence=next(self._counter),
+            sequence=self._next_seq(),
             callback=callback,
             label=label,
         )
@@ -258,3 +262,63 @@ class EventLoop:
     def pending(self) -> int:
         """Number of not-yet-cancelled pending events."""
         return sum(1 for event in self._queue if not event.cancelled)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (checkpointing support)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Serializable loop state: clock, counters and the live events.
+
+        Callbacks are *not* serialized -- only each event's
+        ``(time, tier, sequence, label)`` identity.  Restoring re-binds
+        callbacks through a label resolver (:meth:`restore_state`), so the
+        snapshot contains no closures or pickled code.  Cancelled events are
+        dropped (they are unobservable), but sequence numbers are preserved
+        verbatim so heap ordering after a restore is bit-identical to the
+        uninterrupted run.
+        """
+        events = sorted(
+            (event for event in self._queue if not event.cancelled),
+            key=lambda event: (event.time, event.tier, event.sequence),
+        )
+        return {
+            "now": self._now,
+            "next_sequence": self._next_sequence,
+            "processed_events": self.processed_events,
+            "events": [
+                [event.time, event.tier, event.sequence, event.label]
+                for event in events
+            ],
+        }
+
+    def restore_state(
+        self,
+        state: Dict[str, Any],
+        resolver: Callable[[str], Callable[["EventLoop"], None]],
+    ) -> List[EventHandle]:
+        """Rebuild the queue from :meth:`snapshot_state` output.
+
+        ``resolver`` maps each stored event label back to its callback (the
+        caller owns the label registry).  Returns one :class:`EventHandle`
+        per restored event, aligned with ``state["events"]``, so callers can
+        re-wire the handles they track (tick, expiries, autoscaler).  The
+        loop must be fresh (nothing scheduled, never run).
+        """
+        if self._queue or self._next_sequence or self.processed_events:
+            raise SimulationError("can only restore into a fresh event loop")
+        self._now = float(state["now"])
+        self._next_sequence = int(state["next_sequence"])
+        self.processed_events = int(state["processed_events"])
+        handles: List[EventHandle] = []
+        for time, tier, sequence, label in state["events"]:
+            event = _QueuedEvent(
+                time=float(time),
+                tier=int(tier),
+                sequence=int(sequence),
+                callback=resolver(label),
+                label=label,
+            )
+            self._queue.append(event)
+            handles.append(EventHandle(event))
+        heapq.heapify(self._queue)
+        return handles
