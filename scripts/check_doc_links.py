@@ -4,9 +4,12 @@
 Scans the given markdown files (default: README.md, ROADMAP.md, docs/*.md)
 for ``[text](target)`` links and verifies that
 
-* relative file targets exist on disk (anchors are split off first), and
+* relative file targets exist on disk (anchors are split off first),
 * anchor targets (``#section`` or ``file.md#section``) match a heading in
-  the target markdown file, using GitHub's heading-slug rules.
+  the target markdown file, using GitHub's heading-slug rules, and
+* the detlint rule catalog in ``docs/architecture.md`` has one heading per
+  rule code registered in ``repro.lint.RULES`` (so the docs cannot drift
+  from the linter implementation).
 
 External ``http(s)://`` links are not fetched (CI must not depend on the
 network); they are only checked for an empty target.  Exit code is non-zero
@@ -74,6 +77,38 @@ def check_file(path: Path, repo_root: Path) -> List[str]:
     return problems
 
 
+def check_rule_catalog(repo_root: Path) -> List[str]:
+    """Every registered detlint rule needs a heading anchor in the docs.
+
+    The registry module is loaded directly from its file: importing
+    ``repro.lint`` would run ``repro/__init__`` and drag in numpy, which
+    the docs CI job deliberately does not install before this check.
+    """
+    import importlib.util
+
+    registry_path = repo_root / "src" / "repro" / "lint" / "registry.py"
+    spec = importlib.util.spec_from_file_location("_detlint_registry", registry_path)
+    module = importlib.util.module_from_spec(spec)
+    # dataclass processing looks the module up in sys.modules by name.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        RULES = module.RULES
+    finally:
+        sys.modules.pop(spec.name, None)
+    architecture = repo_root / "docs" / "architecture.md"
+    slugs = heading_slugs(architecture.read_text(encoding="utf-8"))
+    problems: List[str] = []
+    for code in sorted(RULES):
+        prefix = code.lower()
+        if not any(slug == prefix or slug.startswith(prefix + "-") for slug in slugs):
+            problems.append(
+                f"{architecture}: no rule-catalog heading for detlint rule "
+                f"{code} (expected a '#### {code} — ...' heading)"
+            )
+    return problems
+
+
 def main(argv: List[str]) -> int:
     repo_root = Path(__file__).resolve().parent.parent
     if argv:
@@ -89,6 +124,7 @@ def main(argv: List[str]) -> int:
     problems: List[Tuple[str]] = []
     for f in files:
         problems.extend(check_file(f, repo_root))
+    problems.extend(check_rule_catalog(repo_root))
     for problem in problems:
         print(problem)
     def display(f: Path) -> str:

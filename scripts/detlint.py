@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Repo-root wrapper for the determinism linter.
+
+Equivalent to ``PYTHONPATH=src python -m repro.lint`` run from the repo
+root; exists so CI and developers can invoke the linter without exporting
+anything.  All arguments are forwarded -- see ``--help``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.lint import main  # noqa: E402
+
+if __name__ == "__main__":
+    os.chdir(REPO_ROOT)
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. ``... --rules | head``
+        sys.exit(141)

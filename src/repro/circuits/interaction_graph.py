@@ -109,6 +109,7 @@ class InteractionGraph:
         counts the two-qubit gates crossing that pair of parts.
         """
         quotient = nx.Graph()
+        # detlint: ignore[DET003] part labels are distinct ints; sorted() output is canonical regardless of set order
         quotient.add_nodes_from(sorted(set(assignment.values())))
         for a, b, weight in self.edges():
             if a not in assignment or b not in assignment:

@@ -24,6 +24,18 @@ class PlacementError(RuntimeError):
 class QuantumCloud:
     """A multi-tenant cluster of QPUs connected by quantum links."""
 
+    #: The fleet is serialized externally by the simulator's
+    #: ``_capture_cloud`` under these keys (detlint CKPT001 enforces that
+    #: every other attribute is excluded below with a reason).
+    _CHECKPOINT_KEYS = ("version_base", "qpus")
+
+    _CHECKPOINT_EXCLUDE = {
+        "topology": "immutable topology object from the run config; a resume rebuilds the cloud from the fingerprint",
+        "epr_success_probability": "immutable config scalar; rebuilt from the run fingerprint",
+        "_resource_graph_cache": "version-keyed cache; invalidated to None on restore and rebuilt lazily",
+        "_available_cache": "version-keyed cache; invalidated to None on restore and rebuilt lazily",
+    }
+
     def __init__(
         self,
         topology: CloudTopology,
@@ -104,12 +116,15 @@ class QuantumCloud:
         return self.qpus[qpu_id]
 
     def total_computing_capacity(self) -> int:
+        # detlint: ignore[DET003] integer capacity sum is order-insensitive
         return sum(q.computing_capacity for q in self.qpus.values())
 
     def total_computing_available(self) -> int:
+        # detlint: ignore[DET003] integer capacity sum is order-insensitive
         return sum(q.computing_available for q in self.qpus.values())
 
     def total_communication_capacity(self) -> int:
+        # detlint: ignore[DET003] integer capacity sum is order-insensitive
         return sum(q.communication_capacity for q in self.qpus.values())
 
     @property
@@ -128,6 +143,7 @@ class QuantumCloud:
         while the availability map differs).  ``add_qpu``/``remove_qpu``
         advance the epoch so any fleet change strictly increases the version.
         """
+        # detlint: ignore[DET003] integer version counters; sum is order-insensitive
         return self._version_base + sum(
             q.computing_version for q in self.qpus.values()
         )
@@ -152,6 +168,7 @@ class QuantumCloud:
 
     def remaining_qubits(self) -> int:
         """Sum of ``Rem(V_i)`` (objective 2 of the placement formulation)."""
+        # detlint: ignore[DET003] integer qubit counts; sum is order-insensitive
         return sum(q.remaining for q in self.qpus.values())
 
     def utilization(self) -> float:
@@ -209,6 +226,7 @@ class QuantumCloud:
 
     def release(self, job_id: str) -> int:
         """Free every computing qubit held by ``job_id``; returns the total freed."""
+        # detlint: ignore[DET003] integer qubit counts; sum is order-insensitive (release order does not matter)
         return sum(q.release_computing(job_id) for q in self.qpus.values())
 
     @contextmanager
@@ -257,6 +275,7 @@ class QuantumCloud:
     # ------------------------------------------------------------------
     def _bump_membership_epoch(self, version_before: int) -> None:
         """Advance the epoch so the post-change version strictly increases."""
+        # detlint: ignore[DET003] integer version counters; sum is order-insensitive
         counters = sum(q.computing_version for q in self.qpus.values())
         self._version_base = max(
             self._version_base, version_before + 1 - counters

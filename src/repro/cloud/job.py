@@ -59,6 +59,22 @@ def set_job_counter(value: int) -> None:
 class Job:
     """A tenant request: one circuit plus scheduling metadata."""
 
+    #: Jobs are serialized externally by the simulator's ``_capture_job``;
+    #: every field below must appear there (detlint CKPT001 enforces this).
+    _CHECKPOINT_KEYS = (
+        "job_id",
+        "circuit",
+        "arrival_time",
+        "status",
+        "placement",
+        "start_time",
+        "completion_time",
+        "num_preemptions",
+        "num_migrations",
+        "last_preempted_time",
+        "last_migrated_time",
+    )
+
     circuit: QuantumCircuit
     job_id: str = field(default_factory=_next_job_id)
     arrival_time: float = 0.0

@@ -34,6 +34,18 @@ class QPU:
         endpoints' values (a degraded QPU degrades every link it serves).
     """
 
+    #: QPUs are serialized externally by the simulator's ``_capture_cloud``;
+    #: every field below must appear there (detlint CKPT001 enforces this).
+    _CHECKPOINT_KEYS = (
+        "qpu_id",
+        "computing_capacity",
+        "communication_capacity",
+        "epr_success_probability",
+        "computing_used",
+        "communication_used",
+        "computing_version",
+    )
+
     qpu_id: int
     computing_capacity: int = 20
     communication_capacity: int = 5
@@ -57,6 +69,7 @@ class QPU:
     # ------------------------------------------------------------------
     @property
     def computing_used(self) -> int:
+        # detlint: ignore[DET003] integer qubit counts; sum is order-insensitive
         return sum(self._computing_used.values())
 
     @property

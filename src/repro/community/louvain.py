@@ -160,6 +160,7 @@ def _local_moving(
             if best_community != current:
                 improved = True
     # Relabel community ids to be dense.
+    # detlint: ignore[DET003] community ids are distinct ints; sorted() output is canonical regardless of set order
     relabel = {c: i for i, c in enumerate(sorted(set(community.tolist())))}
     return {node: relabel[int(community[u])] for u, node in enumerate(nodes)}
 

@@ -1,0 +1,13 @@
+"""``python -m repro.lint`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. ``... --rules | head``
+        sys.exit(141)

@@ -1,0 +1,100 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+The baseline exists so the linter can be adopted on a tree with known
+findings and tightened over time: ``--write-baseline`` records the current
+live findings, and later runs only fail on findings *not* in the baseline.
+Entries are matched by ``(rule, path, key)`` where ``key`` is the flagged
+source line with whitespace collapsed -- line numbers are deliberately not
+stored, so unrelated edits that shift code do not invalidate the baseline,
+while editing the flagged line itself (or introducing a second identical
+violation in the same file) surfaces the finding again.
+
+The committed baseline for this repo lives at ``detlint-baseline.json`` in
+the repo root and is empty: every finding in the shipped tree was fixed or
+waived inline with a reason (see the PR that introduced the linter).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+BASELINE_SCHEMA = "detlint-baseline"
+BASELINE_VERSION = 1
+
+_EntryKey = Tuple[str, str, str]
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered ``(rule, path, key)`` entries."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    @property
+    def size(self) -> int:
+        # detlint: ignore[DET003] Counter counts are ints; integer sums are order-insensitive
+        return sum(self.entries.values())
+
+
+def _entry_key(finding: Finding) -> _EntryKey:
+    return (finding.rule, finding.path.replace("\\", "/"), finding.key)
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file, validating its envelope."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path}: not a {BASELINE_SCHEMA} file")
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: baseline version {payload.get('version')!r} is not "
+            f"{BASELINE_VERSION}"
+        )
+    entries: Counter = Counter()
+    for entry in payload.get("findings", []):
+        entries[(entry["rule"], entry["path"], entry["key"])] += 1
+    return Baseline(entries=entries)
+
+
+def save_baseline(path: str, findings: List[Finding]) -> None:
+    """Write the current live findings as the new baseline."""
+    serialized = [
+        {"rule": rule, "path": rel_path, "key": key}
+        for rule, rel_path, key in sorted(_entry_key(f) for f in findings)
+    ]
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "version": BASELINE_VERSION,
+        "findings": serialized,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def diff_against_baseline(
+    findings: List[Finding], baseline: Baseline
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(new, grandfathered)`` against the baseline.
+
+    Matching is multiset-aware: a baseline entry absorbs at most as many
+    identical findings as it has occurrences, so duplicating a grandfathered
+    violation still fails the build.
+    """
+    budget: Dict[_EntryKey, int] = dict(baseline.entries)
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        key = _entry_key(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered

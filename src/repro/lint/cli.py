@@ -1,0 +1,177 @@
+"""Command line front end: ``python -m repro.lint`` / ``scripts/detlint.py``.
+
+Exit codes: 0 when no non-baselined findings, 1 when new findings exist,
+2 on usage errors (unreadable baseline, no files matched).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .baseline import Baseline, diff_against_baseline, load_baseline, save_baseline
+from .engine import LintConfig, iter_python_files, lint_paths
+from .findings import Finding, LintReport
+from .registry import RULES
+
+#: Name of the committed repo baseline, picked up from the CWD when present.
+DEFAULT_BASELINE = "detlint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="detlint",
+        description=(
+            "AST-based determinism & checkpoint-coverage linter for the "
+            "repro source tree"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} if it exists in the CWD)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the report to FILE (same format as stdout)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _print_rules(stream) -> None:
+    for code in sorted(RULES):
+        rule = RULES[code]
+        print(f"{code}  {rule.title}", file=stream)
+        print(f"        {rule.rationale}", file=stream)
+
+
+def _render_text(
+    report: LintReport, new: List[Finding], grandfathered: List[Finding]
+) -> str:
+    lines: List[str] = []
+    for finding in new:
+        lines.append(finding.format())
+    summary = (
+        f"detlint: {report.files_checked} files, {len(new)} finding(s)"
+    )
+    if grandfathered:
+        summary += f", {len(grandfathered)} baselined"
+    if report.waived:
+        summary += f", {len(report.waived)} waived"
+    lines.append(summary)
+    return "\n".join(lines) + "\n"
+
+
+def _render_json(
+    report: LintReport, new: List[Finding], grandfathered: List[Finding]
+) -> str:
+    payload = {
+        "schema": "detlint-report",
+        "version": 1,
+        "files_checked": report.files_checked,
+        "findings": [finding.to_dict() for finding in new],
+        "baselined": [finding.to_dict() for finding in grandfathered],
+        "waived": report.waived,
+        "summary": {
+            "new": len(new),
+            "baselined": len(grandfathered),
+            "waived": len(report.waived),
+        },
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        _print_rules(sys.stdout)
+        return 0
+
+    config = LintConfig()
+    if args.select:
+        config = LintConfig(
+            rules=tuple(
+                code.strip() for code in args.select.split(",") if code.strip()
+            )
+        )
+        unknown = [code for code in config.rules if code not in RULES]
+        if unknown:
+            print(f"detlint: unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    if not list(iter_python_files(args.paths)):
+        print(f"detlint: no python files under {args.paths}", file=sys.stderr)
+        return 2
+
+    report = lint_paths(args.paths, config)
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        save_baseline(target, report.findings)
+        print(
+            f"detlint: wrote {len(report.findings)} finding(s) to {target}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline = Baseline()
+    if baseline_path is not None:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"detlint: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+
+    new, grandfathered = diff_against_baseline(report.findings, baseline)
+
+    render = _render_json if args.format == "json" else _render_text
+    rendered = render(report, new, grandfathered)
+    sys.stdout.write(rendered)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+
+    return 1 if new else 0

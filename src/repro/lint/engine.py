@@ -1,0 +1,121 @@
+"""The lint engine: parse files, run rules, apply waivers.
+
+The engine is deliberately free of I/O policy -- it takes explicit paths
+and returns a :class:`~repro.lint.findings.LintReport`; baseline filtering
+and exit codes are the CLI's job, so tests can drive the engine directly on
+in-memory sources.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple
+
+from .ckpt import check_ckpt
+from .det import check_det
+from .findings import Finding, LintReport
+from .waivers import apply_waivers, parse_waivers
+
+#: Path fragments where DET002 does not apply: entry points and harnesses
+#: legitimately read the wall clock (progress lines, bench timings, log
+#: timestamps).  Fragments are matched against the POSIX-style path.
+DEFAULT_CLOCK_ALLOWLIST: Tuple[str, ...] = (
+    "benchmarks/",
+    "scripts/",
+    "examples/",
+    "tests/",
+)
+
+
+@dataclass
+class LintConfig:
+    """Knobs for one engine run."""
+
+    #: Rule codes to run; empty means all.
+    rules: Tuple[str, ...] = ()
+    #: DET002 is skipped for paths containing any of these fragments.
+    clock_allowlist: Tuple[str, ...] = DEFAULT_CLOCK_ALLOWLIST
+
+    def rule_enabled(self, code: str) -> bool:
+        return not self.rules or code in self.rules
+
+    def clock_exempt(self, path: str) -> bool:
+        posix = path.replace("\\", "/")
+        return any(fragment in posix for fragment in self.clock_allowlist)
+
+
+def lint_source(
+    source: str, path: str, config: LintConfig | None = None
+) -> LintReport:
+    """Lint one module given as a string; ``path`` is used for reporting."""
+    config = config or LintConfig()
+    report = LintReport(files_checked=1)
+    source_lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        # A file the linter cannot parse is a finding, not a crash: the
+        # tier-1 suite would fail on it anyway, but the lint job must not
+        # die with a traceback.
+        report.findings.append(
+            Finding(
+                rule="DET002",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+                snippet=_line_at(source_lines, exc.lineno or 1),
+            )
+        )
+        return report
+
+    raw: List[Finding] = check_det(tree, source_lines, path)
+    raw += check_ckpt(tree, source_lines, path)
+    raw = [
+        finding
+        for finding in raw
+        if config.rule_enabled(finding.rule)
+        and not (finding.rule == "DET002" and config.clock_exempt(path))
+    ]
+
+    waivers, waiver_problems = parse_waivers(source_lines, path)
+    apply_waivers(raw, waivers, report)
+    report.findings.extend(
+        problem for problem in waiver_problems if config.rule_enabled(problem.rule)
+    )
+    report.sort()
+    return report
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` paths."""
+    seen = []
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            seen.extend(root.rglob("*.py"))
+        elif root.suffix == ".py":
+            seen.append(root)
+    unique = sorted(set(seen), key=lambda p: p.as_posix())
+    return unique
+
+
+def lint_paths(
+    paths: Sequence[str], config: LintConfig | None = None
+) -> LintReport:
+    """Lint every ``*.py`` under the given files/directories."""
+    config = config or LintConfig()
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        report.extend(lint_source(source, file_path.as_posix(), config))
+    report.sort()
+    return report
+
+
+def _line_at(source_lines: List[str], lineno: int) -> str:
+    if 1 <= lineno <= len(source_lines):
+        return source_lines[lineno - 1].strip()
+    return ""

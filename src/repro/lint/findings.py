@@ -1,0 +1,66 @@
+"""Finding and report containers shared by the rules, engine and CLI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``key`` is the location-independent identity used for baseline matching:
+    the flagged source line with whitespace collapsed, so findings survive
+    unrelated edits that only shift line numbers.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    @property
+    def key(self) -> str:
+        return " ".join(self.snippet.split())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def format(self) -> str:
+        location = f"{self.path}:{self.line}:{self.col}"
+        return f"{location}: {self.rule} {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, before baseline filtering.
+
+    ``findings`` are the live violations; ``waived`` were suppressed by an
+    inline ``# detlint: ignore[...]`` comment (kept for reporting -- a waived
+    finding is documented, not deleted).
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    waived: List[Dict[str, Any]] = field(default_factory=list)
+    files_checked: int = 0
+
+    def extend(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.waived.extend(other.waived)
+        self.files_checked += other.files_checked
+
+    def sort(self) -> None:
+        self.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        self.waived.sort(
+            key=lambda w: (w["finding"]["path"], w["finding"]["line"])
+        )

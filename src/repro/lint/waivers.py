@@ -1,0 +1,136 @@
+"""Inline waiver parsing: ``# detlint: ignore[RULE1,RULE2] reason``.
+
+A waiver suppresses matching findings anchored on its own line or on the
+line directly below it (so multi-line statements can carry the waiver above
+the statement).  The reason text after the bracket is mandatory: a waiver
+with no reason raises a WVR001 finding at the waiver's line, and a waiver
+naming a rule code the registry does not know raises WVR002 -- both are
+real findings, not warnings, so an unexplained suppression fails the build
+exactly like the violation it hides.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .findings import Finding, LintReport
+from .registry import RULES
+
+#: ``# detlint: ignore[DET003] summing ints is order-insensitive``
+WAIVER_PATTERN = re.compile(
+    r"#\s*detlint:\s*ignore\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+
+
+def _comment_lines(source_lines: List[str]) -> Dict[int, Tuple[str, int]]:
+    """Map line number -> (comment text, column) for real ``#`` comments.
+
+    Tokenizing (rather than regexing raw lines) keeps waiver examples inside
+    docstrings and string literals from being parsed as live waivers.  Falls
+    back to a raw scan if the file does not tokenize (the engine reports the
+    syntax error separately).
+    """
+    comments: Dict[int, Tuple[str, int]] = {}
+    source = "\n".join(source_lines) + "\n"
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = (token.string, token.start[1])
+    except (tokenize.TokenizeError, SyntaxError, IndentationError, ValueError):
+        for line_no, raw in enumerate(source_lines, 1):
+            hash_at = raw.find("#")
+            if hash_at >= 0:
+                comments[line_no] = (raw[hash_at:], hash_at)
+    return comments
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One parsed waiver comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+
+def parse_waivers(source_lines: List[str], path: str) -> Tuple[Dict[int, Waiver], List[Finding]]:
+    """Extract waivers from raw source lines.
+
+    Returns ``(waivers_by_line, problems)`` where ``problems`` holds WVR001
+    (missing reason) and WVR002 (unknown rule code) findings for malformed
+    waivers.  Malformed waivers still suppress their named valid rules --
+    the author's intent is clear -- but the malformation itself fails the
+    run until fixed.
+    """
+    waivers: Dict[int, Waiver] = {}
+    problems: List[Finding] = []
+    for line_no, (comment, column) in sorted(_comment_lines(source_lines).items()):
+        match = WAIVER_PATTERN.search(comment)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip() for code in match.group("rules").split(",") if code.strip()
+        )
+        reason = match.group("reason").strip()
+        snippet = (
+            source_lines[line_no - 1].strip()
+            if 1 <= line_no <= len(source_lines)
+            else comment.strip()
+        )
+        if not reason:
+            problems.append(
+                Finding(
+                    rule="WVR001",
+                    path=path,
+                    line=line_no,
+                    col=column + 1,
+                    message=(
+                        "waiver needs a written reason after the bracket: "
+                        "`# detlint: ignore[RULE] why this is safe`"
+                    ),
+                    snippet=snippet,
+                )
+            )
+        unknown = [code for code in codes if code not in RULES]
+        for code in unknown:
+            problems.append(
+                Finding(
+                    rule="WVR002",
+                    path=path,
+                    line=line_no,
+                    col=column + 1,
+                    message=f"waiver names unknown rule {code!r}",
+                    snippet=snippet,
+                )
+            )
+        known = tuple(code for code in codes if code in RULES)
+        if known:
+            waivers[line_no] = Waiver(line=line_no, rules=known, reason=reason)
+    return waivers, problems
+
+
+def apply_waivers(
+    findings: List[Finding], waivers: Dict[int, Waiver], report: LintReport
+) -> None:
+    """Split ``findings`` into the report's live and waived buckets.
+
+    A finding at line N is waived by a matching-rule waiver at line N (the
+    trailing-comment form) or at line N-1 (the line-above form).
+    """
+    for finding in findings:
+        waiver = None
+        for candidate_line in (finding.line, finding.line - 1):
+            candidate = waivers.get(candidate_line)
+            if candidate is not None and finding.rule in candidate.rules:
+                waiver = candidate
+                break
+        if waiver is None:
+            report.findings.append(finding)
+        else:
+            report.waived.append(
+                {"finding": finding.to_dict(), "reason": waiver.reason}
+            )

@@ -136,6 +136,11 @@ class TokenBucket(AdmissionPolicy):
 
     name = "token-bucket"
 
+    _CHECKPOINT_EXCLUDE = {
+        "rate": "constructor parameter, immutable after __init__; a resume rebuilds the policy from config",
+        "capacity": "constructor parameter, immutable after __init__; a resume rebuilds the policy from config",
+    }
+
     def __init__(self, rate: float, capacity: float) -> None:
         if not math.isfinite(rate) or rate <= 0:
             raise ValueError("token refill rate must be positive and finite")

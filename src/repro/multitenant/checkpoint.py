@@ -182,6 +182,7 @@ def check_fingerprint(
     saved: Dict[str, Any], current: Dict[str, Any]
 ) -> None:
     """Compare run fingerprints field-by-field; raise naming the first diff."""
+    # detlint: ignore[DET003] fingerprint fields are distinct strings; sorted() output is canonical regardless of set order
     for field in sorted(set(saved) | set(current)):
         saved_value = saved.get(field, "<absent>")
         current_value = current.get(field, "<absent>")

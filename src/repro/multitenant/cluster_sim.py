@@ -271,6 +271,36 @@ class _EventDrivenBatch:
     :meth:`EventLoop.reschedule` instead of stacking a second one.
     """
 
+    #: Attributes deliberately absent from ``_capture_state`` snapshots.
+    #: Every entry must say why skipping it cannot cause resume divergence;
+    #: detlint's CKPT001 flags any new ``self.`` attribute missing from both
+    #: the snapshot and this mapping.
+    _CHECKPOINT_EXCLUDE = {
+        "simulator": "back-reference to the owning MultiTenantSimulator; the resume path reconstructs the batch from the simulator",
+        "latency": "immutable LatencyModel owned by the simulator config; a resume rebuilds it from the run fingerprint",
+        "round_tail": "derived from the latency model in __init__ and never mutated",
+        "epr_model": "immutable EPR success model from the simulator config",
+        "controller": "its live state is the 'jobs' and 'cloud' snapshot keys; the controller object itself is rebuilt on restore",
+        "loop": "captured as the 'engine' key via EventLoop.snapshot_state",
+        "faults": "fleet-event schedule is regenerated from the seeded spec on restore; already-applied events are reflected in 'cloud'",
+        "incremental": "derived flag recomputed from the placement strategy in __init__",
+        "placement_context": "pure cache of BFS placements; cold recompute after restore returns bit-identical placements",
+        "min_pending_qubits": "monotone pruning hint recomputed as pending jobs are re-examined; only affects work skipped, not results",
+        "preemption_enabled": "derived from the preemption policy type in __init__",
+        "resume_work": "transient restore-time work list, always empty at checkpoint instants",
+        "expiry_handles": "event-loop handles; re-registered by the resume path from the 'pending' deadlines",
+        "tick_handle": "event-loop handle; the resume path schedules a fresh tick",
+        "_autoscaler_handle": "event-loop handle; the resume path re-arms the autoscaler poll",
+        "_trace_info": "captured as the 'trace' key",
+        "_records": "live record iterator; a resumed run re-opens the trace and seeks via the 'cursor' key",
+        "_trace_cursor": "captured as the 'cursor' key via TraceCursor checkpointing",
+        "_stream_capacity": "derived from the template cloud's total capacity in __init__",
+        "_restored": "transient flag marking a freshly restored batch; meaningless inside a snapshot",
+        "_signal_flag": "transient kill-signal latch; a snapshot is always taken with the flag clear",
+        "_job_capture_cache": "memo for _capture_job keyed by object identity; identity does not survive a restore",
+        "_captured_results": "memo of already-serialized results; rebuilt lazily after restore",
+    }
+
     def __init__(
         self,
         simulator: "MultiTenantSimulator",

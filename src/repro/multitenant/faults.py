@@ -163,6 +163,7 @@ def generate_fleet_events(
     events: List[FleetEvent] = []
     if total_rate <= 0:
         return events
+    # detlint: ignore[DET003] QPU ids are distinct ints; sorted() output is canonical regardless of set order
     for qpu_id in sorted(set(qpu_ids)):
         t = 0.0
         while True:
@@ -286,6 +287,15 @@ class QueueDepthAutoscaler(Autoscaler):
     """
 
     name = "queue-depth"
+
+    _CHECKPOINT_EXCLUDE = {
+        "standby": "constructor parameter, immutable after __init__; a resume rebuilds the autoscaler from config",
+        "scale_up_depth": "constructor parameter, immutable after __init__",
+        "scale_down_depth": "constructor parameter, immutable after __init__",
+        "scale_down_utilization": "constructor parameter, immutable after __init__",
+        "drop_rate_threshold": "constructor parameter, immutable after __init__",
+        "interval": "constructor parameter, immutable after __init__",
+    }
 
     def __init__(
         self,

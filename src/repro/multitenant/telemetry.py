@@ -150,6 +150,10 @@ class QuantileSketch:
         "max",
     )
 
+    _CHECKPOINT_EXCLUDE = {
+        "_compress_every": "derived from epsilon in __init__ and never mutated; from_state recomputes it",
+    }
+
     def __init__(self, epsilon: float = 0.005) -> None:
         if not 0.0 < epsilon < 0.5:
             raise ValueError(f"epsilon must lie in (0, 0.5), got {epsilon}")
@@ -289,6 +293,10 @@ class _DepthSeries:
         "_pending",
         "_last_recorded_depth",
     )
+
+    _CHECKPOINT_EXCLUDE = {
+        "_last_recorded_depth": "captured as the 'last_depth' key; kept under its historical name for snapshot compatibility",
+    }
 
     def __init__(self, capacity: int, seed: int = 0) -> None:
         if capacity < 1:
@@ -444,6 +452,13 @@ class Telemetry:
         object; one JSON object per line in the schema documented in the
         module docstring.  Pass a path to let :meth:`close` own the file.
     """
+
+    _CHECKPOINT_EXCLUDE = {
+        "_stream": "open file handle; a resumed run reopens the events path in append mode after truncating to events['bytes']",
+        "_owns_stream": "derived from how the stream was attached; recomputed when the resumed run reattaches events",
+        "events_bytes": "captured inside the nested events descriptor as events['bytes']",
+        "_events_path": "captured inside the nested events descriptor as events['path']",
+    }
 
     def __init__(
         self,
@@ -782,6 +797,7 @@ class Telemetry:
         if not math.isfinite(horizon) or horizon <= 0.0:
             raise ValueError(f"horizon must be positive and finite, got {horizon}")
         availability: Dict[int, float] = {}
+        # detlint: ignore[DET003] QPU ids are distinct ints; sorted() output is canonical regardless of set order
         for qpu_id in sorted(set(self.qpu_downtime) | set(self._offline_since)):
             down = self.qpu_downtime.get(qpu_id, 0.0)
             went_offline = self._offline_since.get(qpu_id)
@@ -906,6 +922,7 @@ class Telemetry:
     @property
     def total(self) -> int:
         """Jobs with a recorded terminal outcome."""
+        # detlint: ignore[DET003] integer outcome counts; sum is order-insensitive
         return sum(self.outcome_counts.values())
 
     @property

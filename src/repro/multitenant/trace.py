@@ -325,6 +325,7 @@ class TraceReader:
         if not isinstance(raw, dict):
             raise _fail(index, line_no, f"record must be an object, got {raw!r}")
         known = {"t", "circuit", "tenant", "priority", "deadline"}
+        # detlint: ignore[DET003] field names are distinct strings; sorted() output is canonical regardless of set order
         unknown = sorted(set(raw) - known)
         if unknown:
             raise _fail(
@@ -462,6 +463,7 @@ class TraceReader:
         self, row: Sequence[str], line_no: int
     ) -> "list[str]":
         columns = [cell.strip() for cell in row]
+        # detlint: ignore[DET003] column names are distinct strings; sorted() output is canonical regardless of set order
         unknown = sorted(set(columns) - set(TRACE_FIELDS))
         if unknown:
             raise TraceFormatError(

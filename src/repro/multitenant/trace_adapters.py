@@ -122,6 +122,7 @@ class TraceAdapter:
         if reader.fieldnames is None:
             raise TraceFormatError(f"{self.name} table is empty: no header row")
         columns = {name.strip() for name in reader.fieldnames}
+        # detlint: ignore[DET003] column names are distinct strings; sorted() output is canonical regardless of set order
         missing = sorted(set(self.required_columns) - columns)
         if missing:
             raise TraceFormatError(

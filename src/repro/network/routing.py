@@ -70,6 +70,7 @@ def widest_path_capacity(cloud: QuantumCloud, qpu_a: int, qpu_b: int) -> int:
         return cloud.qpu(qpu_a).communication_capacity
     graph = cloud.topology.graph
     # Binary search over capacities: keep only nodes with capacity >= threshold.
+    # detlint: ignore[DET003] capacities are distinct ints; sorted() output is canonical regardless of set order
     capacities = sorted(
         {cloud.qpu(qpu).communication_capacity for qpu in cloud.qpu_ids}
     )

@@ -44,6 +44,7 @@ def _spread_seeds(
         return nodes
     # Start from the highest-degree-weight node so dense regions get a seed.
     def degree_weight(node: Hashable) -> float:
+        # detlint: ignore[DET003] adjacency order is fixed by the deterministic graph build; re-sorting this float sum would change bits pinned by golden tests
         return sum(float(d.get("weight", 1.0)) for _, d in graph[node].items())
 
     seeds = [max(nodes, key=degree_weight)]

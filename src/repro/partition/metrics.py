@@ -37,6 +37,7 @@ def imbalance(
     factor constrains this value.
     """
     weights = part_weights(graph, assignment, num_parts)
+    # detlint: ignore[DET003] part-weight insertion order is fixed by the deterministic build; re-sorting this float sum would change bits pinned by golden tests
     total = sum(weights.values())
     if total == 0 or num_parts == 0:
         return 0.0

@@ -44,6 +44,7 @@ class Placement:
         return self.mapping[qubit]
 
     def qpus_used(self) -> List[int]:
+        # detlint: ignore[DET003] QPU ids are distinct ints; sorted() output is canonical regardless of set order
         return sorted(set(self.mapping.values()))
 
     @property

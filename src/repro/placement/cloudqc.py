@@ -155,6 +155,7 @@ class CloudQCPlacement(PlacementAlgorithm):
         """Part counts k explored by the search (Algorithm 1's inner loop)."""
         per_qpu = max(cloud.max_available_computing(), 1)
         min_parts = max(2, math.ceil(circuit_size / per_qpu))
+        # detlint: ignore[DET003] integer count; sum is order-insensitive
         usable_qpus = sum(
             1 for q in cloud.qpus.values() if q.computing_available > 0
         )

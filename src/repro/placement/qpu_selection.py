@@ -69,8 +69,9 @@ def bfs_qpu_set(
     if required_qubits <= 0:
         raise ValueError("required_qubits must be positive")
     available = cloud.available_computing()
+    # detlint: ignore[DET003] integer availability; sum is order-insensitive
     if sum(available.values()) < required_qubits:
-        raise CommunityError(
+        raise CommunityError(  # detlint: ignore[DET003] integer availability; sum is order-insensitive
             f"cloud has only {sum(available.values())} free qubits, "
             f"need {required_qubits}"
         )

@@ -28,8 +28,9 @@ def random_qpu_walk(
 ) -> List[int]:
     """Random-walk QPU selection: expand from a random start until capacity fits."""
     available = cloud.available_computing()
+    # detlint: ignore[DET003] integer availability; sum is order-insensitive
     if sum(available.values()) < required_qubits:
-        raise MappingError(
+        raise MappingError(  # detlint: ignore[DET003] integer availability; sum is order-insensitive
             f"cloud has {sum(available.values())} free qubits, need {required_qubits}"
         )
     start = int(rng.choice(cloud.qpu_ids))

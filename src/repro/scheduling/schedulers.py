@@ -152,7 +152,9 @@ class RandomScheduler(NetworkScheduler):
         capacity: Mapping[int, int],
         rng: Optional[np.random.Generator] = None,
     ) -> Dict[Tuple[str, int], int]:
-        rng = rng or np.random.default_rng()
+        # Pinned fallback seed: the simulator always passes its own rng, and a
+        # bare call must still be reproducible run-to-run.
+        rng = rng or np.random.default_rng(0)
         remaining = dict(capacity)
         allocation: Dict[Tuple[str, int], int] = {}
         candidates: List[AllocationRequest] = list(requests)

@@ -91,6 +91,11 @@ class RepeatingEventHandle:
 class EventLoop:
     """Deterministic discrete-event loop."""
 
+    _CHECKPOINT_EXCLUDE = {
+        "_queue": "heap entries hold closures; snapshot_state serializes them as the 'events' descriptor list and restore_state re-registers callbacks",
+        "_running": "transient run() flag; snapshots are only taken between events, where it is rebuilt by the next run() call",
+    }
+
     def __init__(self) -> None:
         self._queue: List[_QueuedEvent] = []
         self._next_sequence = 0

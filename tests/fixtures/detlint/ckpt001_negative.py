@@ -1,0 +1,51 @@
+"""CKPT001 fixture: nothing here may be flagged."""
+
+from dataclasses import dataclass
+
+
+class FullyCovered:
+    _CHECKPOINT_EXCLUDE = {
+        "_cache": "derived memo, rebuilt lazily after restore",
+    }
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._offset = 0.0
+        self._cache = {}
+
+    def snapshot_state(self):
+        return {"count": self.count, "offset": self._offset}
+
+    def restore_state(self, state):
+        self.count = state["count"]
+        self._offset = state["offset"]
+        self._cache = {}
+
+
+class NestedKeys:
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.dropped = 0
+
+    def checkpoint_state(self):
+        return {"counters": {"submitted": self.submitted, "dropped": self.dropped}}
+
+    def restore_state(self, state):
+        counters = state["counters"]
+        self.submitted = counters["submitted"]
+        self.dropped = counters["dropped"]
+
+
+@dataclass
+class ExternalRecord:
+    _CHECKPOINT_KEYS = ("name", "weight")
+
+    name: str
+    weight: float = 1.0
+
+
+class NotParticipating:
+    """No snapshot methods, no markers: CKPT001 does not apply."""
+
+    def __init__(self) -> None:
+        self.anything = object()

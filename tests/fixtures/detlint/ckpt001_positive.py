@@ -1,0 +1,49 @@
+"""CKPT001 fixture: every line tagged with an expect-CKPT001 marker must be flagged."""
+
+
+class MissingAttr:
+    def __init__(self) -> None:
+        self.kept = 0
+        self.lost = 0.0  # expect: CKPT001
+
+    def snapshot_state(self):
+        return {"kept": self.kept}
+
+    def restore_state(self, state):
+        self.kept = state["kept"]
+
+
+class BadExclude:
+    _CHECKPOINT_EXCLUDE = {  # expect: CKPT001 (reason missing) # expect: CKPT001 (stale entry)
+        "cache": "",
+        "ghost": "never assigned anywhere",
+    }
+
+    def __init__(self) -> None:
+        self.value = 1
+        self.cache = {}
+
+    def checkpoint_state(self):
+        return {"value": self.value}
+
+    def restore_state(self, state):
+        self.value = state["value"]
+
+
+class ExternalDrift:
+    _CHECKPOINT_KEYS = ("jobs",)
+
+    def __init__(self) -> None:
+        self.jobs = {}
+        self.scratch = []  # expect: CKPT001
+
+
+class DataHolder:
+    def __init__(self) -> None:
+        self.seen = 0
+
+    def _capture_state(self):
+        return {"seen": self.seen}
+
+    def mutate(self) -> None:
+        self.extra = True  # expect: CKPT001

@@ -1,0 +1,37 @@
+"""CKPT002 fixture: nothing here may be flagged."""
+
+
+class Symmetric:
+    def __init__(self) -> None:
+        self.a = 0
+        self.b = 0.0
+
+    def snapshot_state(self):
+        return {"a": self.a, "b": self.b}
+
+    def restore_state(self, state):
+        self.a = state["a"]
+        self.b = state.get("b", 0.0)
+
+
+class PrivateCapturePair:
+    """Private split-capture protocols are CKPT001 territory only: the
+    restore side may be split across helpers, so key symmetry is not
+    checkable method-pair-wise."""
+
+    def __init__(self) -> None:
+        self.seen = 0
+
+    def _capture_state(self):
+        return {"seen": self.seen, "engine": None}
+
+    def _restore_state(self, state):
+        self.seen = state["seen"]
+
+
+class SnapshotOnly:
+    def __init__(self) -> None:
+        self.x = 1
+
+    def snapshot_state(self):
+        return {"x": self.x}

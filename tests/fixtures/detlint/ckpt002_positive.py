@@ -1,0 +1,27 @@
+"""CKPT002 fixture: every line tagged with an expect-CKPT002 marker must be flagged."""
+
+
+class SavedNeverRestored:
+    def __init__(self) -> None:
+        self.a = 0
+        self.b = 0
+
+    def snapshot_state(self):  # expect: CKPT002  ('b' written, never read)
+        return {"a": self.a, "b": self.b}
+
+    def restore_state(self, state):
+        self.a = state["a"]
+        self.b = 0
+
+
+class ReadNeverSaved:
+    def __init__(self) -> None:
+        self.a = 0
+        self.b = 0  # expect: CKPT001
+
+    def checkpoint_state(self):
+        return {"a": self.a}
+
+    def restore_state(self, state):  # expect: CKPT002  ('b' read, never written)
+        self.a = state["a"]
+        self.b = state.get("b", 0)

@@ -1,0 +1,25 @@
+"""DET001 fixture: nothing here may be flagged (all RNG use is seeded)."""
+
+import random
+import numpy as np
+from numpy.random import default_rng
+
+rng = np.random.default_rng(42)
+rng_kw = default_rng(seed=42)
+local = random.Random(7)
+legacy = np.random.RandomState(3)
+
+
+def draw(generator: np.random.Generator):
+    a = local.random()
+    b = generator.integers(10)
+    local.shuffle([1, 2, 3])
+    return a, b
+
+
+class Sampler:
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+
+    def sample(self):
+        return self.rng.random()

@@ -1,0 +1,21 @@
+"""DET001 fixture: every line tagged with an expect-DET001 marker must be flagged."""
+
+import random
+import numpy as np
+from numpy.random import default_rng
+from random import randint as pick
+
+rng_no_seed = np.random.default_rng()  # expect: DET001
+rng_none = default_rng(None)  # expect: DET001
+shared = random.Random()  # expect: DET001
+legacy = np.random.RandomState()  # expect: DET001
+
+
+def draw():
+    a = random.random()  # expect: DET001
+    b = random.randint(0, 10)  # expect: DET001
+    c = pick(0, 10)  # expect: DET001
+    d = np.random.normal()  # expect: DET001
+    np.random.seed(7)  # expect: DET001
+    random.shuffle([1, 2, 3])  # expect: DET001
+    return a, b, c, d

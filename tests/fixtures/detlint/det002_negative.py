@@ -1,0 +1,26 @@
+"""DET002 fixture: nothing here may be flagged.
+
+Simulation time comes from the event loop, not the host clock; the names
+below shadow or merely resemble banned calls without being them.
+"""
+
+import time
+
+
+def simulated_now(loop) -> float:
+    return loop.now
+
+
+def sleep_budget() -> float:
+    # time.sleep is not a nondeterminism *source* (it returns None).
+    time.sleep(0)
+    return 0.0
+
+
+class Clock:
+    def time(self) -> float:
+        return 0.0
+
+
+def read(clock: Clock) -> float:
+    return clock.time()

@@ -1,0 +1,17 @@
+"""DET002 fixture: every line tagged with an expect-DET002 marker must be flagged."""
+
+import os
+import time
+import uuid
+import datetime
+from time import perf_counter
+from datetime import datetime as dt
+
+now = time.time()  # expect: DET002
+tick = perf_counter()  # expect: DET002
+mono = time.monotonic()  # expect: DET002
+stamp = datetime.datetime.now()  # expect: DET002
+stamp2 = dt.utcnow()  # expect: DET002
+today = datetime.date.today()  # expect: DET002
+token = os.urandom(16)  # expect: DET002
+ident = uuid.uuid4()  # expect: DET002

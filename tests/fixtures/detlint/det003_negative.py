@@ -1,0 +1,24 @@
+"""DET003 fixture: nothing here may be flagged.
+
+Sorted/keyed iteration, list-based accumulation, and order-preserving
+sinks over dict views are all order-stable.
+"""
+
+
+def ordered(items, weights):
+    a = sum(weights[k] for k in sorted(weights))
+    b = min(items)
+    c = list(weights.keys())
+    d = sorted(weights.items(), key=lambda kv: kv[0])
+    return a, b, c, d
+
+
+def list_accumulation(values):
+    total = 0.0
+    for v in values:
+        total += v
+    return total
+
+
+def keyed_sort(items):
+    return sorted(set(items), key=len)

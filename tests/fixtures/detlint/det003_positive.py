@@ -1,0 +1,23 @@
+"""DET003 fixture: every line tagged with an expect-DET003 marker must be flagged."""
+
+
+def set_sinks(items, weights):
+    a = sum({w for w in weights})  # expect: DET003
+    b = min(set(items))  # expect: DET003
+    c = max(frozenset(items))  # expect: DET003
+    d = list({1, 2, 3})  # expect: DET003
+    e = sorted(set(items) | set(weights))  # expect: DET003
+    return a, b, c, d, e
+
+
+def dict_view_sum(weights):
+    return sum(weights.values())  # expect: DET003
+
+
+def loop_accumulation(weights, items):
+    total = 0.0
+    for w in weights.values():
+        total += w  # expect: DET003
+    for x in set(items):
+        total += x * 2.0  # expect: DET003
+    return total

@@ -1,0 +1,30 @@
+"""Waiver fixture: waived findings, WVR001 and WVR002 cases.
+
+Expected behavior (asserted by tests/test_detlint.py):
+
+* lines tagged ``ok-waived``   -> suppressed, recorded in report.waived
+* lines tagged ``bad-no-reason`` -> suppressed, but WVR001 at the waiver
+* lines tagged ``bad-unknown`` -> WVR002 at the waiver; DET001 survives
+  because no *known* rule was named
+"""
+
+import random
+
+# ok-waived (line-above form)
+# detlint: ignore[DET001] fixture: seeded upstream by the harness
+value_above = random.random()
+
+value_trailing = random.random()  # detlint: ignore[DET001] fixture: trailing form  (ok-waived)
+
+# bad-no-reason
+# detlint: ignore[DET001]
+value_no_reason = random.random()
+
+# bad-unknown
+# detlint: ignore[NOPE123] typo'd rule code
+value_unknown = random.random()
+
+
+def docstring_examples_are_inert():
+    """Mentioning ``# detlint: ignore[DET001] ...`` in prose is not a waiver."""
+    return random.random()  # detlint: ignore[DET001,DET002] fixture: multi-rule waiver  (ok-waived)
